@@ -1,0 +1,49 @@
+//! End-to-end criterion benchmarks: one scaled-down run per headline
+//! experiment configuration, so regressions in simulation throughput (and in
+//! the relative cost of the Leap vs default configurations) are visible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leap::prelude::*;
+use leap_sim_core::units::MIB;
+use leap_workloads::stride_trace;
+
+fn bench_stride_microbenchmark(c: &mut Criterion) {
+    let trace = stride_trace(2 * MIB, 10, 1);
+    let mut group = c.benchmark_group("vmm_stride10_2mib");
+    group.sample_size(20);
+    group.bench_function("linux_default", |b| {
+        b.iter(|| {
+            let config = SimConfig::linux_defaults().with_memory_fraction(0.5);
+            black_box(VmmSimulator::new(config).run_prepopulated(&trace))
+        })
+    });
+    group.bench_function("leap", |b| {
+        b.iter(|| {
+            let config = SimConfig::leap_defaults().with_memory_fraction(0.5);
+            black_box(VmmSimulator::new(config).run_prepopulated(&trace))
+        })
+    });
+    group.finish();
+}
+
+fn bench_application_model(c: &mut Criterion) {
+    let trace = AppModel::new(AppKind::PowerGraph, 1)
+        .with_accesses(20_000)
+        .generate();
+    let mut group = c.benchmark_group("vmm_powergraph_20k");
+    group.sample_size(10);
+    group.bench_function("leap_50pct", |b| {
+        b.iter(|| {
+            let config = SimConfig::leap_defaults().with_memory_fraction(0.5);
+            black_box(VmmSimulator::new(config).run_prepopulated(&trace))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stride_microbenchmark,
+    bench_application_model
+);
+criterion_main!(benches);

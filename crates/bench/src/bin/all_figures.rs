@@ -1,0 +1,22 @@
+//! Runs every figure/table experiment in sequence and prints the reports.
+fn main() {
+    let reports: Vec<(&str, String)> = vec![
+        ("Figure 1", leap_bench::fig01_datapath_breakdown()),
+        ("Figure 2", leap_bench::fig02_default_datapath_cdf()),
+        ("Figure 3", leap_bench::fig03_pattern_windows()),
+        ("Figure 4", leap_bench::fig04_lazy_eviction_wait()),
+        ("Table 1", leap_bench::table1_prefetcher_comparison()),
+        ("Figure 7", leap_bench::fig07_leap_datapath_cdf()),
+        ("Figure 8a", leap_bench::fig08a_benefit_breakdown()),
+        ("Figure 8b", leap_bench::fig08b_slow_storage()),
+        ("Figure 9", leap_bench::fig09_prefetcher_cache()),
+        ("Figure 10", leap_bench::fig10_prefetch_effectiveness()),
+        ("Figure 11", leap_bench::fig11_applications()),
+        ("Figure 12", leap_bench::fig12_constrained_cache()),
+        ("Figure 13", leap_bench::fig13_multi_app()),
+    ];
+    for (name, report) in reports {
+        println!("==================== {name} ====================");
+        println!("{report}");
+    }
+}

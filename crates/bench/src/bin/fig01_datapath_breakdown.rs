@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: per-stage data-path latency breakdown.
+fn main() {
+    println!("{}", leap_bench::fig01_datapath_breakdown());
+}

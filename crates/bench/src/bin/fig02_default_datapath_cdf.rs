@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: default-data-path latency distributions.
+fn main() {
+    println!("{}", leap_bench::fig02_default_datapath_cdf());
+}

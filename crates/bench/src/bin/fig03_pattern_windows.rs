@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: access-pattern window classification per application.
+fn main() {
+    println!("{}", leap_bench::fig03_pattern_windows());
+}

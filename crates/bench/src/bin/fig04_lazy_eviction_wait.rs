@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: lazy prefetch-cache eviction wait times.
+fn main() {
+    println!("{}", leap_bench::fig04_lazy_eviction_wait());
+}

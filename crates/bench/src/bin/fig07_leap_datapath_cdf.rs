@@ -1,0 +1,4 @@
+//! Regenerates Figure 7: latency distributions with and without Leap.
+fn main() {
+    println!("{}", leap_bench::fig07_leap_datapath_cdf());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 8a: Leap benefit breakdown (data path, prefetcher, eviction).
+fn main() {
+    println!("{}", leap_bench::fig08a_benefit_breakdown());
+}

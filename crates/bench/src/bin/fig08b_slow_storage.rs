@@ -1,0 +1,4 @@
+//! Regenerates Figure 8b: the Leap prefetcher over slow local storage.
+fn main() {
+    println!("{}", leap_bench::fig08b_slow_storage());
+}

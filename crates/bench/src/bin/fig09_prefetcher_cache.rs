@@ -1,0 +1,4 @@
+//! Regenerates Figure 9: cache adds/misses and completion time per prefetcher.
+fn main() {
+    println!("{}", leap_bench::fig09_prefetcher_cache());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10: prefetch accuracy, coverage, and timeliness.
+fn main() {
+    println!("{}", leap_bench::fig10_prefetch_effectiveness());
+}

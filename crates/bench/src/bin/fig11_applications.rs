@@ -1,0 +1,4 @@
+//! Regenerates Figure 11: application completion time / throughput.
+fn main() {
+    println!("{}", leap_bench::fig11_applications());
+}

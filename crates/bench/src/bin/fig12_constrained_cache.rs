@@ -1,0 +1,4 @@
+//! Regenerates Figure 12: performance under constrained prefetch-cache sizes.
+fn main() {
+    println!("{}", leap_bench::fig12_constrained_cache());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 13: all four applications running concurrently.
+fn main() {
+    println!("{}", leap_bench::fig13_multi_app());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: qualitative comparison of prefetching techniques.
+fn main() {
+    println!("{}", leap_bench::table1_prefetcher_comparison());
+}

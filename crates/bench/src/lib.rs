@@ -1,0 +1,37 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each public function reproduces one figure/table from *Effectively
+//! Prefetching Remote Memory with Leap* and returns a rendered text report
+//! (the same rows/series the paper plots). The `src/bin/` binaries are thin
+//! wrappers, one per figure, so that
+//!
+//! ```text
+//! cargo run --release -p leap-bench --bin fig09_prefetcher_cache
+//! ```
+//!
+//! prints the corresponding table. Scales are reduced from the paper's
+//! 9–38 GB working sets to tens of MiB so every experiment completes in
+//! seconds; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+pub mod app_figures;
+pub mod micro_figures;
+
+pub use app_figures::{
+    fig03_pattern_windows, fig08b_slow_storage, fig09_prefetcher_cache,
+    fig10_prefetch_effectiveness, fig11_applications, fig12_constrained_cache, fig13_multi_app,
+    table1_prefetcher_comparison,
+};
+pub use micro_figures::{
+    fig01_datapath_breakdown, fig02_default_datapath_cdf, fig04_lazy_eviction_wait,
+    fig07_leap_datapath_cdf, fig08a_benefit_breakdown,
+};
+
+/// Standard working-set size used by the microbenchmark figures (16 MiB keeps
+/// each run to a few seconds).
+pub const MICRO_WORKING_SET: u64 = 16 * leap_sim_core::units::MIB;
+
+/// Standard number of accesses per application trace in the app figures.
+pub const APP_ACCESSES: usize = 80_000;
+
+/// Seed shared by all experiments so every figure is reproducible.
+pub const EXPERIMENT_SEED: u64 = 2020;

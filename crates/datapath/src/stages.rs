@@ -1,0 +1,178 @@
+//! Named data-path stages and latency breakdowns.
+
+use leap_sim_core::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A software or hardware stage a page request may pass through.
+///
+/// The set mirrors Figure 1 of the paper: the cache lookup and MMU work are
+/// common to both paths; the bio/queueing/batching stages exist only on the
+/// legacy block-layer path; the device/transport stage is where the HDD, SSD,
+/// or RDMA access happens; Leap adds its own (much cheaper) prefetcher and
+/// remote-interface stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Page-cache (swap cache / VFS cache) lookup.
+    CacheLookup,
+    /// MMU/page-table work to map the page once its data is available.
+    MmuUpdate,
+    /// Building the bio / block request (legacy path only).
+    BioPreparation,
+    /// Plugging, merging, sorting and staging in the request queue
+    /// (legacy path only).
+    QueueingAndBatching,
+    /// I/O scheduler dispatch to the device driver (legacy path only).
+    Dispatch,
+    /// The device or network transfer itself (HDD/SSD/RDMA).
+    DeviceTransfer,
+    /// Leap's prefetcher (trend detection + candidate generation).
+    Prefetcher,
+    /// Leap's remote I/O interface (slot lookup + RDMA post).
+    RemoteInterface,
+}
+
+impl Stage {
+    /// All stages, in rough pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::CacheLookup,
+        Stage::Prefetcher,
+        Stage::BioPreparation,
+        Stage::QueueingAndBatching,
+        Stage::Dispatch,
+        Stage::RemoteInterface,
+        Stage::DeviceTransfer,
+        Stage::MmuUpdate,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::CacheLookup => "cache lookup",
+            Stage::MmuUpdate => "MMU update",
+            Stage::BioPreparation => "bio preparation",
+            Stage::QueueingAndBatching => "queueing+batching",
+            Stage::Dispatch => "dispatch",
+            Stage::DeviceTransfer => "device transfer",
+            Stage::Prefetcher => "prefetcher",
+            Stage::RemoteInterface => "remote interface",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One stage's contribution to a request's latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Which stage.
+    pub stage: Stage,
+    /// How long the request spent in it.
+    pub latency: Nanos,
+}
+
+/// The full latency breakdown of one page request through a data path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathLatency {
+    stages: Vec<StageLatency>,
+}
+
+impl PathLatency {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        PathLatency::default()
+    }
+
+    /// Adds a stage's latency (stages may repeat, e.g. two device transfers).
+    pub fn push(&mut self, stage: Stage, latency: Nanos) {
+        self.stages.push(StageLatency { stage, latency });
+    }
+
+    /// Total end-to-end latency.
+    pub fn total(&self) -> Nanos {
+        self.stages.iter().map(|s| s.latency).sum()
+    }
+
+    /// Latency attributed to one stage (summed over repeats).
+    pub fn stage_total(&self, stage: Stage) -> Nanos {
+        self.stages
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.latency)
+            .sum()
+    }
+
+    /// Iterates over the recorded stages in order.
+    pub fn iter(&self) -> impl Iterator<Item = &StageLatency> {
+        self.stages.iter()
+    }
+
+    /// Number of recorded stage entries.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if no stages were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+/// A data path that can serve a page read request and report its breakdown.
+///
+/// `core` identifies the CPU issuing the request (used for per-core dispatch
+/// queues); `page_offset` is the swap-slot/remote offset of the page; `now`
+/// is the current simulated time.
+pub trait DataPath: Send + std::fmt::Debug {
+    /// Serves a single 4 KB page read, returning its latency breakdown.
+    fn read_page(&mut self, page_offset: u64, core: usize, now: Nanos) -> PathLatency;
+
+    /// Serves a single 4 KB page write, returning its latency breakdown.
+    fn write_page(&mut self, page_offset: u64, core: usize, now: Nanos) -> PathLatency;
+
+    /// A short name for reports ("linux-default" or "leap").
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_stages() {
+        let mut p = PathLatency::new();
+        p.push(Stage::CacheLookup, Nanos::from_nanos(270));
+        p.push(Stage::DeviceTransfer, Nanos::from_micros(4));
+        p.push(Stage::MmuUpdate, Nanos::from_micros(2));
+        assert_eq!(p.total(), Nanos::from_nanos(270 + 4_000 + 2_000));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn stage_total_sums_repeats() {
+        let mut p = PathLatency::new();
+        p.push(Stage::DeviceTransfer, Nanos::from_micros(4));
+        p.push(Stage::DeviceTransfer, Nanos::from_micros(6));
+        assert_eq!(p.stage_total(Stage::DeviceTransfer), Nanos::from_micros(10));
+        assert_eq!(p.stage_total(Stage::CacheLookup), Nanos::ZERO);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let p = PathLatency::new();
+        assert!(p.is_empty());
+        assert_eq!(p.total(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Stage::ALL.len());
+    }
+}

@@ -1,0 +1,227 @@
+//! Leap's eager prefetch-cache eviction (§4.3).
+//!
+//! Leap keeps prefetched pages on a dedicated FIFO list
+//! (`PrefetchFifoLruList`). When a prefetched page is hit and mapped, Leap
+//! frees its cache entry immediately instead of leaving it for the background
+//! scanner. Under severe pressure, not-yet-consumed prefetched pages are
+//! reclaimed in FIFO order. The upshot is that the reclaimer has far fewer
+//! pages to scan, shortening page-allocation wait time (the paper measures a
+//! ~750 ns / 36 % reduction on average).
+
+use leap_mem::{SwapCache, SwapSlot};
+use leap_sim_core::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Counters describing eager-eviction behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EagerEvictionStats {
+    /// Prefetched pages freed immediately after their first hit.
+    pub freed_on_hit: u64,
+    /// Prefetched pages reclaimed (FIFO) before ever being hit.
+    pub freed_unconsumed: u64,
+    /// Pages currently tracked on the FIFO list.
+    pub tracked: u64,
+}
+
+/// The `PrefetchFifoLruList`: FIFO tracking of prefetched cache pages with
+/// eager free-on-hit.
+///
+/// # Examples
+///
+/// ```
+/// use leap_eviction::PrefetchFifoLru;
+/// use leap_mem::{CacheOrigin, Pid, SwapCache, SwapSlot};
+/// use leap_sim_core::Nanos;
+///
+/// let mut cache = SwapCache::new(8);
+/// let mut fifo = PrefetchFifoLru::new();
+/// cache.insert(SwapSlot(1), Pid(1), CacheOrigin::Prefetch, Nanos::ZERO);
+/// fifo.on_prefetch_insert(SwapSlot(1));
+///
+/// // The page is hit: Leap frees it from the cache right away.
+/// cache.record_hit(SwapSlot(1), Nanos::from_micros(3));
+/// fifo.on_hit(SwapSlot(1), &mut cache);
+/// assert!(!cache.contains(SwapSlot(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefetchFifoLru {
+    fifo: VecDeque<SwapSlot>,
+    stats: EagerEvictionStats,
+}
+
+impl PrefetchFifoLru {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        PrefetchFifoLru::default()
+    }
+
+    /// Registers a newly prefetched page (appended at the FIFO tail).
+    pub fn on_prefetch_insert(&mut self, slot: SwapSlot) {
+        self.fifo.push_back(slot);
+        self.stats.tracked = self.fifo.len() as u64;
+    }
+
+    /// Handles a hit on a prefetched page: the cache entry is freed
+    /// immediately (after the page table has been updated, which the caller
+    /// models separately) and the slot leaves the FIFO.
+    ///
+    /// Returns `true` if the slot was tracked and freed.
+    pub fn on_hit(&mut self, slot: SwapSlot, cache: &mut SwapCache) -> bool {
+        let Some(pos) = self.fifo.iter().position(|&s| s == slot) else {
+            return false;
+        };
+        self.fifo.remove(pos);
+        cache.remove(slot);
+        self.stats.freed_on_hit += 1;
+        self.stats.tracked = self.fifo.len() as u64;
+        true
+    }
+
+    /// Reclaims up to `target` not-yet-consumed prefetched pages in FIFO
+    /// order (severe memory pressure / constrained prefetch cache).
+    ///
+    /// Returns the slots actually freed.
+    pub fn reclaim_fifo(&mut self, cache: &mut SwapCache, target: u64) -> Vec<SwapSlot> {
+        let mut freed = Vec::new();
+        while (freed.len() as u64) < target {
+            let Some(slot) = self.fifo.pop_front() else {
+                break;
+            };
+            if cache.remove(slot).is_some() {
+                self.stats.freed_unconsumed += 1;
+                freed.push(slot);
+            }
+        }
+        self.stats.tracked = self.fifo.len() as u64;
+        freed
+    }
+
+    /// Number of prefetched pages currently awaiting consumption.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True if no prefetched pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> EagerEvictionStats {
+        self.stats
+    }
+
+    /// The page-allocation wait-time saving of eager eviction relative to a
+    /// lazy scan that would have had to walk `lazy_scan_pages` extra pages at
+    /// `scan_cost_per_page` each.
+    ///
+    /// This is the quantity behind the paper's "page allocation time reduced
+    /// by ~750 ns (36 %)" claim: the allocator no longer waits for consumed
+    /// prefetch pages to be scanned out.
+    pub fn allocation_wait_saving(lazy_scan_pages: u64, scan_cost_per_page: Nanos) -> Nanos {
+        scan_cost_per_page * lazy_scan_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leap_mem::{CacheOrigin, Pid};
+    use proptest::prelude::*;
+
+    fn prefetched_cache(n: u64) -> (SwapCache, PrefetchFifoLru) {
+        let mut cache = SwapCache::unbounded();
+        let mut fifo = PrefetchFifoLru::new();
+        for i in 0..n {
+            cache.insert(SwapSlot(i), Pid(1), CacheOrigin::Prefetch, Nanos::ZERO);
+            fifo.on_prefetch_insert(SwapSlot(i));
+        }
+        (cache, fifo)
+    }
+
+    #[test]
+    fn hit_frees_immediately() {
+        let (mut cache, mut fifo) = prefetched_cache(3);
+        cache.record_hit(SwapSlot(1), Nanos::from_micros(2));
+        assert!(fifo.on_hit(SwapSlot(1), &mut cache));
+        assert!(!cache.contains(SwapSlot(1)));
+        assert_eq!(fifo.len(), 2);
+        assert_eq!(fifo.stats().freed_on_hit, 1);
+    }
+
+    #[test]
+    fn hit_on_untracked_slot_is_ignored() {
+        let (mut cache, mut fifo) = prefetched_cache(1);
+        assert!(!fifo.on_hit(SwapSlot(99), &mut cache));
+        assert_eq!(fifo.stats().freed_on_hit, 0);
+    }
+
+    #[test]
+    fn fifo_reclaim_is_in_arrival_order() {
+        let (mut cache, mut fifo) = prefetched_cache(5);
+        let freed = fifo.reclaim_fifo(&mut cache, 3);
+        assert_eq!(freed, vec![SwapSlot(0), SwapSlot(1), SwapSlot(2)]);
+        assert_eq!(fifo.stats().freed_unconsumed, 3);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reclaim_skips_slots_already_gone_from_cache() {
+        let (mut cache, mut fifo) = prefetched_cache(3);
+        cache.remove(SwapSlot(0));
+        let freed = fifo.reclaim_fifo(&mut cache, 2);
+        assert_eq!(freed, vec![SwapSlot(1), SwapSlot(2)]);
+    }
+
+    #[test]
+    fn reclaim_stops_when_empty() {
+        let (mut cache, mut fifo) = prefetched_cache(2);
+        let freed = fifo.reclaim_fifo(&mut cache, 10);
+        assert_eq!(freed.len(), 2);
+        assert!(fifo.is_empty());
+        let nothing = fifo.reclaim_fifo(&mut cache, 1);
+        assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn allocation_wait_saving_scales_with_scanned_pages() {
+        let saving = PrefetchFifoLru::allocation_wait_saving(10, Nanos::from_nanos(80));
+        assert_eq!(saving, Nanos::from_nanos(800));
+        assert_eq!(
+            PrefetchFifoLru::allocation_wait_saving(0, Nanos::from_nanos(80)),
+            Nanos::ZERO
+        );
+    }
+
+    #[test]
+    fn tracked_counter_follows_list_length() {
+        let (mut cache, mut fifo) = prefetched_cache(4);
+        assert_eq!(fifo.stats().tracked, 4);
+        fifo.on_hit(SwapSlot(2), &mut cache);
+        assert_eq!(fifo.stats().tracked, 3);
+        fifo.reclaim_fifo(&mut cache, 2);
+        assert_eq!(fifo.stats().tracked, 1);
+    }
+
+    proptest! {
+        /// freed_on_hit + freed_unconsumed + tracked == total inserted.
+        #[test]
+        fn prop_conservation_of_pages(
+            inserts in 1u64..100,
+            hits in proptest::collection::vec(0u64..100, 0..50),
+            reclaim in 0u64..100,
+        ) {
+            let (mut cache, mut fifo) = prefetched_cache(inserts);
+            for h in hits {
+                if h < inserts {
+                    cache.record_hit(SwapSlot(h), Nanos::ZERO);
+                    let _ = fifo.on_hit(SwapSlot(h), &mut cache);
+                }
+            }
+            let _ = fifo.reclaim_fifo(&mut cache, reclaim);
+            let s = fifo.stats();
+            prop_assert_eq!(s.freed_on_hit + s.freed_unconsumed + s.tracked, inserts);
+        }
+    }
+}

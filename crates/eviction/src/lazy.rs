@@ -1,0 +1,319 @@
+//! The lazy, kswapd-style background reclaimer.
+//!
+//! When memory pressure builds, the kernel's background thread scans the LRU
+//! lists to find eviction candidates and frees them. Two costs matter for the
+//! reproduction:
+//!
+//! 1. *Scan cost*: the reclaimer touches every page it considers, so the more
+//!    pages sit on the lists (including already-consumed prefetched pages),
+//!    the longer finding candidates takes, and the longer new-page allocation
+//!    waits (§2.3).
+//! 2. *Wait time*: a consumed prefetched page occupies cache space from the
+//!    moment it is hit until the scanner finally reclaims it; Figure 4 plots
+//!    that wait-time distribution.
+
+use leap_mem::{LruList, SwapCache, SwapSlot};
+use leap_sim_core::Nanos;
+
+/// Configuration of the lazy reclaimer.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyReclaimerConfig {
+    /// Cost of examining one page during an LRU scan.
+    pub scan_cost_per_page: Nanos,
+    /// Fixed cost of waking the reclaimer and setting up a scan pass.
+    pub wakeup_cost: Nanos,
+    /// How often the background reclaimer runs when there is pressure.
+    pub scan_interval: Nanos,
+    /// Fraction of the list scanned per pass (kswapd scans in batches rather
+    /// than the whole list at once). Clamped to `(0, 1]`.
+    pub scan_fraction: f64,
+}
+
+impl Default for LazyReclaimerConfig {
+    fn default() -> Self {
+        LazyReclaimerConfig {
+            // ~80 ns to inspect a page (reference-bit checks, list moves).
+            scan_cost_per_page: Nanos::from_nanos(80),
+            wakeup_cost: Nanos::from_micros(2),
+            scan_interval: Nanos::from_millis(100),
+            scan_fraction: 0.25,
+        }
+    }
+}
+
+/// The outcome of one reclaim pass.
+#[derive(Debug, Clone, Default)]
+pub struct ReclaimOutcome {
+    /// Swap slots freed from the cache in this pass.
+    pub freed: Vec<SwapSlot>,
+    /// Of those, how many were prefetched pages that had already been hit
+    /// (pages Leap would have freed long ago).
+    pub freed_consumed_prefetches: u64,
+    /// Of those, how many were prefetched pages never hit (pollution).
+    pub freed_unused_prefetches: u64,
+    /// Time the scan itself took (charged to allocation latency when the
+    /// allocating process had to wait for it).
+    pub scan_time: Nanos,
+    /// Pages examined during the scan.
+    pub pages_scanned: u64,
+    /// For each freed page that had been hit, how long it sat in the cache
+    /// after its first hit (the Figure 4 wait time).
+    pub post_hit_wait: Vec<Nanos>,
+}
+
+/// The kswapd-style lazy reclaimer.
+///
+/// It maintains its own LRU ordering over cached slots; the caller notifies
+/// it of insertions and hits, and invokes [`LazyReclaimer::reclaim`] when it
+/// needs free cache space.
+///
+/// # Examples
+///
+/// ```
+/// use leap_eviction::LazyReclaimer;
+/// use leap_mem::{CacheOrigin, Pid, SwapCache, SwapSlot};
+/// use leap_sim_core::Nanos;
+///
+/// let mut cache = SwapCache::new(4);
+/// let mut reclaimer = LazyReclaimer::with_defaults();
+/// for i in 0..4u64 {
+///     cache.insert(SwapSlot(i), Pid(1), CacheOrigin::Prefetch, Nanos::ZERO);
+///     reclaimer.on_insert(SwapSlot(i));
+/// }
+/// let outcome = reclaimer.reclaim(&mut cache, 2, Nanos::from_micros(50));
+/// assert_eq!(outcome.freed.len(), 2);
+/// assert_eq!(cache.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LazyReclaimer {
+    config: LazyReclaimerConfig,
+    lru: LruList<SwapSlot>,
+    total_scanned: u64,
+    total_scan_time: Nanos,
+    total_freed: u64,
+}
+
+impl LazyReclaimer {
+    /// Creates a reclaimer with the given configuration.
+    pub fn new(config: LazyReclaimerConfig) -> Self {
+        LazyReclaimer {
+            config,
+            lru: LruList::new(),
+            total_scanned: 0,
+            total_scan_time: Nanos::ZERO,
+            total_freed: 0,
+        }
+    }
+
+    /// Creates a reclaimer with default (kernel-like) parameters.
+    pub fn with_defaults() -> Self {
+        LazyReclaimer::new(LazyReclaimerConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LazyReclaimerConfig {
+        &self.config
+    }
+
+    /// Notifies the reclaimer that `slot` was inserted into the cache.
+    pub fn on_insert(&mut self, slot: SwapSlot) {
+        self.lru.push(slot);
+    }
+
+    /// Notifies the reclaimer that `slot` was hit (moves it towards the MRU
+    /// end, as the kernel's mark-accessed path does). Crucially, the page is
+    /// *not* freed — that is the laziness Leap removes.
+    pub fn on_hit(&mut self, slot: SwapSlot) {
+        self.lru.touch(&slot);
+    }
+
+    /// Notifies the reclaimer that `slot` left the cache for reasons outside
+    /// its control (e.g. eager eviction in a hybrid configuration).
+    pub fn on_remove(&mut self, slot: SwapSlot) {
+        self.lru.remove(&slot);
+    }
+
+    /// Number of pages the reclaimer currently tracks.
+    pub fn tracked_pages(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Lifetime totals: pages scanned, time spent scanning, pages freed.
+    pub fn totals(&self) -> (u64, Nanos, u64) {
+        (self.total_scanned, self.total_scan_time, self.total_freed)
+    }
+
+    /// Runs one reclaim pass at time `now`, trying to free at least `target`
+    /// pages from `cache`.
+    ///
+    /// The scan examines pages from the LRU end. Every examined page costs
+    /// [`LazyReclaimerConfig::scan_cost_per_page`]; the pass stops after
+    /// freeing `target` pages or after examining the configured fraction of
+    /// the list without finding enough candidates (in which case it frees
+    /// what it found).
+    pub fn reclaim(&mut self, cache: &mut SwapCache, target: u64, now: Nanos) -> ReclaimOutcome {
+        let mut outcome = ReclaimOutcome {
+            scan_time: self.config.wakeup_cost,
+            ..ReclaimOutcome::default()
+        };
+        if target == 0 || self.lru.is_empty() {
+            return outcome;
+        }
+        // Scan budget: a fraction of the list per pass plus one page per
+        // still-missing target, so stale bookkeeping entries cannot starve
+        // the pass but a single pass also never degenerates into a full walk.
+        let fraction = self.config.scan_fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        let scan_budget = ((self.lru.len() as f64 * fraction).ceil() as u64).saturating_add(target);
+
+        while outcome.freed.len() < target as usize && outcome.pages_scanned < scan_budget {
+            let slot = match self.lru.pop_lru() {
+                Some(s) => s,
+                None => break,
+            };
+            outcome.pages_scanned += 1;
+            outcome.scan_time += self.config.scan_cost_per_page;
+
+            match cache.remove(slot) {
+                Some(entry) => {
+                    if let Some(hit_at) = entry.first_hit_at {
+                        outcome.freed_consumed_prefetches +=
+                            u64::from(entry.origin == leap_mem::CacheOrigin::Prefetch);
+                        outcome.post_hit_wait.push(now.saturating_sub(hit_at));
+                    } else if entry.origin == leap_mem::CacheOrigin::Prefetch {
+                        outcome.freed_unused_prefetches += 1;
+                    }
+                    outcome.freed.push(slot);
+                }
+                None => {
+                    // The cache no longer holds this slot (freed elsewhere);
+                    // just drop it from the LRU bookkeeping.
+                }
+            }
+        }
+
+        self.total_scanned += outcome.pages_scanned;
+        self.total_scan_time += outcome.scan_time;
+        self.total_freed += outcome.freed.len() as u64;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leap_mem::{CacheOrigin, Pid};
+    use proptest::prelude::*;
+
+    fn fill(cache: &mut SwapCache, reclaimer: &mut LazyReclaimer, n: u64, origin: CacheOrigin) {
+        for i in 0..n {
+            cache.insert(SwapSlot(i), Pid(1), origin, Nanos::ZERO);
+            reclaimer.on_insert(SwapSlot(i));
+        }
+    }
+
+    #[test]
+    fn reclaims_in_lru_order() {
+        let mut cache = SwapCache::new(8);
+        let mut r = LazyReclaimer::with_defaults();
+        fill(&mut cache, &mut r, 4, CacheOrigin::Prefetch);
+        // Touch slot 0 so it becomes MRU.
+        r.on_hit(SwapSlot(0));
+        let outcome = r.reclaim(&mut cache, 2, Nanos::from_micros(10));
+        assert_eq!(outcome.freed, vec![SwapSlot(1), SwapSlot(2)]);
+        assert!(cache.contains(SwapSlot(0)));
+    }
+
+    #[test]
+    fn scan_time_grows_with_pages_scanned() {
+        let mut cache = SwapCache::unbounded();
+        let mut r = LazyReclaimer::with_defaults();
+        fill(&mut cache, &mut r, 1000, CacheOrigin::Prefetch);
+        let outcome = r.reclaim(&mut cache, 100, Nanos::ZERO);
+        assert_eq!(outcome.freed.len(), 100);
+        let expected =
+            r.config().wakeup_cost + r.config().scan_cost_per_page * outcome.pages_scanned;
+        assert_eq!(outcome.scan_time, expected);
+        assert!(outcome.scan_time > Nanos::from_micros(2));
+    }
+
+    #[test]
+    fn post_hit_wait_is_measured() {
+        let mut cache = SwapCache::new(8);
+        let mut r = LazyReclaimer::with_defaults();
+        cache.insert(SwapSlot(1), Pid(1), CacheOrigin::Prefetch, Nanos::ZERO);
+        r.on_insert(SwapSlot(1));
+        // The page is hit at t=10 µs but only reclaimed at t=500 µs.
+        cache.record_hit(SwapSlot(1), Nanos::from_micros(10));
+        r.on_hit(SwapSlot(1));
+        let outcome = r.reclaim(&mut cache, 1, Nanos::from_micros(500));
+        assert_eq!(outcome.freed, vec![SwapSlot(1)]);
+        assert_eq!(outcome.freed_consumed_prefetches, 1);
+        assert_eq!(outcome.post_hit_wait, vec![Nanos::from_micros(490)]);
+    }
+
+    #[test]
+    fn unused_prefetches_are_counted_as_pollution() {
+        let mut cache = SwapCache::new(8);
+        let mut r = LazyReclaimer::with_defaults();
+        fill(&mut cache, &mut r, 3, CacheOrigin::Prefetch);
+        let outcome = r.reclaim(&mut cache, 3, Nanos::from_micros(5));
+        assert_eq!(outcome.freed_unused_prefetches, 3);
+        assert_eq!(outcome.freed_consumed_prefetches, 0);
+    }
+
+    #[test]
+    fn zero_target_or_empty_list_is_cheap() {
+        let mut cache = SwapCache::new(8);
+        let mut r = LazyReclaimer::with_defaults();
+        let outcome = r.reclaim(&mut cache, 0, Nanos::ZERO);
+        assert!(outcome.freed.is_empty());
+        assert_eq!(outcome.pages_scanned, 0);
+        let outcome = r.reclaim(&mut cache, 5, Nanos::ZERO);
+        assert!(outcome.freed.is_empty());
+    }
+
+    #[test]
+    fn stale_lru_entries_are_skipped() {
+        let mut cache = SwapCache::new(8);
+        let mut r = LazyReclaimer::with_defaults();
+        fill(&mut cache, &mut r, 4, CacheOrigin::Demand);
+        // Slot 0 disappears from the cache without notifying the reclaimer.
+        cache.remove(SwapSlot(0));
+        let outcome = r.reclaim(&mut cache, 2, Nanos::ZERO);
+        // It had to scan past the stale entry but still freed two real pages.
+        assert_eq!(outcome.freed, vec![SwapSlot(1), SwapSlot(2)]);
+        assert!(outcome.pages_scanned >= 3);
+    }
+
+    #[test]
+    fn totals_accumulate_across_passes() {
+        let mut cache = SwapCache::unbounded();
+        let mut r = LazyReclaimer::with_defaults();
+        fill(&mut cache, &mut r, 100, CacheOrigin::Prefetch);
+        let _ = r.reclaim(&mut cache, 10, Nanos::ZERO);
+        let _ = r.reclaim(&mut cache, 10, Nanos::ZERO);
+        let (scanned, time, freed) = r.totals();
+        assert_eq!(freed, 20);
+        assert!(scanned >= 20);
+        assert!(time > Nanos::ZERO);
+    }
+
+    proptest! {
+        /// The reclaimer never frees more than the target and never leaves
+        /// the cache inconsistent with its own bookkeeping.
+        #[test]
+        fn prop_never_over_frees(
+            pages in 1u64..200,
+            target in 1u64..100,
+        ) {
+            let mut cache = SwapCache::unbounded();
+            let mut r = LazyReclaimer::with_defaults();
+            fill(&mut cache, &mut r, pages, CacheOrigin::Prefetch);
+            let before = cache.len();
+            let outcome = r.reclaim(&mut cache, target, Nanos::ZERO);
+            prop_assert!(outcome.freed.len() as u64 <= target);
+            prop_assert_eq!(cache.len(), before - outcome.freed.len() as u64);
+            prop_assert!(r.tracked_pages() as u64 <= pages);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Simulation configuration.
+
+use leap_prefetcher::PrefetcherKind;
+use leap_remote::BackendKind;
+use serde::{Deserialize, Serialize};
+
+/// Which data path serves cache misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataPathKind {
+    /// The default Linux block-layer path (§2.2, Figure 1).
+    LinuxDefault,
+    /// Leap's lean path that bypasses the block layer (§4.4).
+    Leap,
+}
+
+impl DataPathKind {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataPathKind::LinuxDefault => "linux-default",
+            DataPathKind::Leap => "leap",
+        }
+    }
+}
+
+/// Which prefetch-cache eviction policy is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Kernel-style lazy background LRU reclaim (§2.3).
+    Lazy,
+    /// Leap's eager free-on-hit plus FIFO reclaim of unconsumed prefetches
+    /// (§4.3).
+    Eager,
+}
+
+impl EvictionPolicy {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lazy => "lazy",
+            EvictionPolicy::Eager => "eager",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+///
+/// The two canonical configurations are [`SimConfig::linux_defaults`] (the
+/// baseline the paper calls "D-VMM": Linux data path, Read-Ahead prefetcher,
+/// lazy eviction) and [`SimConfig::leap_defaults`] ("D-VMM+Leap": lean data
+/// path, majority-trend prefetcher, eager eviction). Every field can be
+/// overridden to build the ablations in Figures 8–10 and 12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The prefetching algorithm.
+    pub prefetcher: PrefetcherKind,
+    /// The data path used on prefetch-cache misses.
+    pub data_path: DataPathKind,
+    /// The slower tier backing swapped-out pages.
+    pub backend: BackendKind,
+    /// The prefetch-cache eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Local memory limit as a fraction of the working set (the paper's
+    /// 100 % / 50 % / 25 % configurations).
+    pub memory_fraction: f64,
+    /// Prefetch-cache capacity in pages; `u64::MAX` means unbounded
+    /// (Figure 12 constrains this).
+    pub prefetch_cache_pages: u64,
+    /// `Hsize`: access-history length for Leap's prefetcher.
+    pub history_size: usize,
+    /// `PWsize_max`: maximum prefetch window.
+    pub max_prefetch_window: usize,
+    /// Number of CPU cores (per-core RDMA dispatch queues).
+    pub cores: usize,
+    /// When several processes run, whether each gets its own isolated
+    /// prefetcher state (Leap) or they share one (Linux's shared swap path).
+    pub per_process_isolation: bool,
+    /// RNG seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The baseline configuration: Linux data path, Read-Ahead prefetching,
+    /// lazy eviction, no per-process isolation.
+    pub fn linux_defaults() -> Self {
+        SimConfig {
+            prefetcher: PrefetcherKind::ReadAhead,
+            data_path: DataPathKind::LinuxDefault,
+            backend: BackendKind::Rdma,
+            eviction: EvictionPolicy::Lazy,
+            memory_fraction: 0.5,
+            prefetch_cache_pages: u64::MAX,
+            history_size: 32,
+            max_prefetch_window: 8,
+            cores: 8,
+            per_process_isolation: false,
+            seed: 42,
+        }
+    }
+
+    /// The full Leap configuration: lean data path, majority-trend
+    /// prefetcher, eager eviction, per-process isolation.
+    pub fn leap_defaults() -> Self {
+        SimConfig {
+            prefetcher: PrefetcherKind::Leap,
+            data_path: DataPathKind::Leap,
+            eviction: EvictionPolicy::Eager,
+            per_process_isolation: true,
+            ..SimConfig::linux_defaults()
+        }
+    }
+
+    /// Paging to a local disk instead of remote memory (the "Disk" bars in
+    /// Figure 11), using the default Linux machinery.
+    pub fn disk_defaults(backend: BackendKind) -> Self {
+        SimConfig {
+            backend,
+            ..SimConfig::linux_defaults()
+        }
+    }
+
+    /// Overrides the prefetcher.
+    pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
+        self.prefetcher = prefetcher;
+        self
+    }
+
+    /// Overrides the data path.
+    pub fn with_data_path(mut self, data_path: DataPathKind) -> Self {
+        self.data_path = data_path;
+        self
+    }
+
+    /// Overrides the backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Overrides the local-memory fraction (clamped to `(0, 1]`).
+    pub fn with_memory_fraction(mut self, fraction: f64) -> Self {
+        self.memory_fraction = fraction.clamp(0.01, 1.0);
+        self
+    }
+
+    /// Overrides the prefetch-cache capacity in pages.
+    pub fn with_prefetch_cache_pages(mut self, pages: u64) -> Self {
+        self.prefetch_cache_pages = pages;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides per-process isolation.
+    pub fn with_isolation(mut self, isolated: bool) -> Self {
+        self.per_process_isolation = isolated;
+        self
+    }
+
+    /// A short label of the configuration for report rows, e.g.
+    /// `"leap/Leap/eager @50%"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{} @{:.0}%",
+            self.data_path.label(),
+            self.prefetcher.label(),
+            self.eviction.label(),
+            self.memory_fraction * 100.0
+        )
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::leap_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_configs_differ_where_expected() {
+        let linux = SimConfig::linux_defaults();
+        let leap = SimConfig::leap_defaults();
+        assert_eq!(linux.prefetcher, PrefetcherKind::ReadAhead);
+        assert_eq!(leap.prefetcher, PrefetcherKind::Leap);
+        assert_eq!(linux.data_path, DataPathKind::LinuxDefault);
+        assert_eq!(leap.data_path, DataPathKind::Leap);
+        assert_eq!(linux.eviction, EvictionPolicy::Lazy);
+        assert_eq!(leap.eviction, EvictionPolicy::Eager);
+        assert!(!linux.per_process_isolation);
+        assert!(leap.per_process_isolation);
+        // Shared knobs stay identical so comparisons are apples-to-apples.
+        assert_eq!(linux.memory_fraction, leap.memory_fraction);
+        assert_eq!(linux.history_size, leap.history_size);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let config = SimConfig::leap_defaults()
+            .with_memory_fraction(0.25)
+            .with_prefetcher(PrefetcherKind::Stride)
+            .with_backend(BackendKind::Ssd)
+            .with_prefetch_cache_pages(800)
+            .with_seed(9)
+            .with_isolation(false)
+            .with_eviction(EvictionPolicy::Lazy)
+            .with_data_path(DataPathKind::LinuxDefault);
+        assert_eq!(config.memory_fraction, 0.25);
+        assert_eq!(config.prefetcher, PrefetcherKind::Stride);
+        assert_eq!(config.backend, BackendKind::Ssd);
+        assert_eq!(config.prefetch_cache_pages, 800);
+        assert_eq!(config.seed, 9);
+        assert!(!config.per_process_isolation);
+        assert_eq!(config.eviction, EvictionPolicy::Lazy);
+        assert_eq!(config.data_path, DataPathKind::LinuxDefault);
+    }
+
+    #[test]
+    fn memory_fraction_is_clamped() {
+        assert_eq!(
+            SimConfig::leap_defaults()
+                .with_memory_fraction(3.0)
+                .memory_fraction,
+            1.0
+        );
+        assert!(
+            SimConfig::leap_defaults()
+                .with_memory_fraction(-1.0)
+                .memory_fraction
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let label = SimConfig::leap_defaults().with_memory_fraction(0.5).label();
+        assert!(label.contains("leap"));
+        assert!(label.contains("50%"));
+        assert_eq!(DataPathKind::LinuxDefault.label(), "linux-default");
+        assert_eq!(EvictionPolicy::Eager.label(), "eager");
+    }
+
+    #[test]
+    fn disk_defaults_use_requested_backend() {
+        let config = SimConfig::disk_defaults(BackendKind::Hdd);
+        assert_eq!(config.backend, BackendKind::Hdd);
+        assert_eq!(config.data_path, DataPathKind::LinuxDefault);
+    }
+}

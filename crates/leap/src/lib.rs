@@ -1,0 +1,61 @@
+//! Leap: prefetching and a lean data path for disaggregated remote memory.
+//!
+//! This crate is the core library of the reproduction of *Effectively
+//! Prefetching Remote Memory with Leap* (USENIX ATC 2020). It composes the
+//! substrate crates — memory management (`leap-mem`), remote memory
+//! (`leap-remote`), data paths (`leap-datapath`), prefetchers
+//! (`leap-prefetcher`), eviction policies (`leap-eviction`), workloads
+//! (`leap-workloads`) and metrics (`leap-metrics`) — into two front-ends:
+//!
+//! - [`vmm::VmmSimulator`]: disaggregated virtual memory management
+//!   (Infiniswap-style remote paging), the configuration most of the paper's
+//!   evaluation uses.
+//! - [`vfs::VfsSimulator`]: disaggregated VFS (Remote-Regions-style remote
+//!   file access).
+//!
+//! Both are driven by [`leap_workloads::AccessTrace`]s and produce a
+//! [`result::RunResult`] with the latency distributions, cache statistics,
+//! prefetch effectiveness, and completion time / throughput numbers the
+//! paper's figures report.
+//!
+//! # Quick start
+//!
+//! ```
+//! use leap::prelude::*;
+//! use leap_sim_core::units::MIB;
+//!
+//! // A Stride-10 microbenchmark over 8 MiB with 50 % local memory.
+//! let trace = leap_workloads::stride_trace(8 * MIB, 10, 2);
+//! let config = SimConfig::leap_defaults()
+//!     .with_memory_fraction(0.5)
+//!     .with_seed(7);
+//! let result = VmmSimulator::new(config).run(&trace);
+//! assert!(result.remote_accesses() > 0);
+//! // The Leap configuration serves most remote accesses from the prefetch cache.
+//! assert!(result.cache_stats.hit_ratio() > 0.5);
+//! ```
+
+pub mod config;
+pub mod result;
+pub mod tracker;
+pub mod vfs;
+pub mod vmm;
+
+pub use config::{DataPathKind, EvictionPolicy, SimConfig};
+pub use result::RunResult;
+pub use tracker::PageAccessTracker;
+pub use vfs::VfsSimulator;
+pub use vmm::VmmSimulator;
+
+/// Commonly used items, re-exported for examples and experiment binaries.
+pub mod prelude {
+    pub use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
+    pub use crate::result::RunResult;
+    pub use crate::tracker::PageAccessTracker;
+    pub use crate::vfs::VfsSimulator;
+    pub use crate::vmm::VmmSimulator;
+    pub use leap_prefetcher::PrefetcherKind;
+    pub use leap_remote::BackendKind;
+    pub use leap_sim_core::Nanos;
+    pub use leap_workloads::{AppKind, AppModel};
+}

@@ -1,0 +1,163 @@
+//! A fixed pool of physical frames representing local DRAM.
+
+use crate::types::FrameId;
+
+/// A pool of physical frames.
+///
+/// The pool is the simulator's stand-in for the machine's local DRAM: its
+/// size (in frames) is what the cgroup memory limit constrains. Allocation is
+/// O(1) via a free list; the pool never grows.
+///
+/// # Examples
+///
+/// ```
+/// use leap_mem::FramePool;
+///
+/// let mut pool = FramePool::new(2);
+/// let a = pool.allocate().unwrap();
+/// let b = pool.allocate().unwrap();
+/// assert!(pool.allocate().is_none());
+/// pool.free(a);
+/// assert_eq!(pool.free_frames(), 1);
+/// let _ = b;
+/// ```
+#[derive(Debug, Clone)]
+pub struct FramePool {
+    capacity: u64,
+    free_list: Vec<FrameId>,
+    next_unused: u64,
+    allocated: u64,
+}
+
+impl FramePool {
+    /// Creates a pool with `capacity` frames.
+    pub fn new(capacity: u64) -> Self {
+        FramePool {
+            capacity,
+            free_list: Vec::new(),
+            next_unused: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Total number of frames in the pool.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// True if no frame is free.
+    pub fn is_full(&self) -> bool {
+        self.allocated >= self.capacity
+    }
+
+    /// Allocates a frame, or returns `None` if the pool is exhausted.
+    pub fn allocate(&mut self) -> Option<FrameId> {
+        if self.is_full() {
+            return None;
+        }
+        self.allocated += 1;
+        if let Some(frame) = self.free_list.pop() {
+            return Some(frame);
+        }
+        let frame = FrameId(self.next_unused);
+        self.next_unused += 1;
+        Some(frame)
+    }
+
+    /// Returns a frame to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has no outstanding allocations (double free of the
+    /// whole pool); individual double frees of the same id are not tracked to
+    /// keep the pool O(1), callers own that invariant.
+    pub fn free(&mut self, frame: FrameId) {
+        assert!(self.allocated > 0, "free() with no outstanding allocations");
+        self.allocated -= 1;
+        self.free_list.push(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocates_up_to_capacity() {
+        let mut pool = FramePool::new(3);
+        assert!(pool.allocate().is_some());
+        assert!(pool.allocate().is_some());
+        assert!(pool.allocate().is_some());
+        assert!(pool.allocate().is_none());
+        assert!(pool.is_full());
+        assert_eq!(pool.allocated_frames(), 3);
+    }
+
+    #[test]
+    fn freed_frames_are_reused() {
+        let mut pool = FramePool::new(1);
+        let a = pool.allocate().unwrap();
+        pool.free(a);
+        let b = pool.allocate().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_capacity_pool_never_allocates() {
+        let mut pool = FramePool::new(0);
+        assert!(pool.allocate().is_none());
+        assert_eq!(pool.free_frames(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outstanding allocations")]
+    fn free_without_allocation_panics() {
+        let mut pool = FramePool::new(1);
+        pool.free(FrameId(0));
+    }
+
+    proptest! {
+        /// allocated + free == capacity under any alloc/free sequence.
+        #[test]
+        fn prop_accounting_invariant(
+            capacity in 0u64..128,
+            ops in proptest::collection::vec(any::<bool>(), 0..300),
+        ) {
+            let mut pool = FramePool::new(capacity);
+            let mut held = Vec::new();
+            for alloc in ops {
+                if alloc {
+                    if let Some(f) = pool.allocate() {
+                        held.push(f);
+                    }
+                } else if let Some(f) = held.pop() {
+                    pool.free(f);
+                }
+                prop_assert_eq!(pool.allocated_frames() + pool.free_frames(), capacity);
+                prop_assert_eq!(pool.allocated_frames(), held.len() as u64);
+            }
+        }
+
+        /// Frame ids handed out while the pool holds them are unique.
+        #[test]
+        fn prop_no_duplicate_live_frames(capacity in 1u64..64) {
+            let mut pool = FramePool::new(capacity);
+            let mut seen = std::collections::HashSet::new();
+            while let Some(f) = pool.allocate() {
+                prop_assert!(seen.insert(f));
+            }
+            prop_assert_eq!(seen.len() as u64, capacity);
+        }
+    }
+}

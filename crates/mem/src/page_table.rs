@@ -1,0 +1,193 @@
+//! Per-process page tables.
+
+use crate::types::{FrameId, SwapSlot, VirtPage};
+use std::collections::HashMap;
+
+/// The state of one virtual page in a process's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// The page has never been touched (no backing storage yet).
+    Untouched,
+    /// The page is resident in local DRAM in the given frame.
+    Resident(FrameId),
+    /// The page has been swapped out to the given swap slot.
+    Swapped(SwapSlot),
+}
+
+/// A per-process page table mapping virtual pages to their state.
+///
+/// The simulator only tracks pages that have ever been touched; untouched
+/// pages are implicit and cost nothing.
+///
+/// # Examples
+///
+/// ```
+/// use leap_mem::{FrameId, PageState, PageTable, SwapSlot, VirtPage};
+///
+/// let mut pt = PageTable::new();
+/// assert_eq!(pt.lookup(VirtPage(5)), PageState::Untouched);
+/// pt.map(VirtPage(5), FrameId(1));
+/// assert_eq!(pt.lookup(VirtPage(5)), PageState::Resident(FrameId(1)));
+/// pt.unmap_to_swap(VirtPage(5), SwapSlot(99));
+/// assert_eq!(pt.lookup(VirtPage(5)), PageState::Swapped(SwapSlot(99)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<VirtPage, PageState>,
+    resident: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Returns the state of a virtual page.
+    pub fn lookup(&self, page: VirtPage) -> PageState {
+        self.entries
+            .get(&page)
+            .copied()
+            .unwrap_or(PageState::Untouched)
+    }
+
+    /// True if the page is currently resident.
+    pub fn is_resident(&self, page: VirtPage) -> bool {
+        matches!(self.lookup(page), PageState::Resident(_))
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident
+    }
+
+    /// Number of pages ever touched (resident or swapped).
+    pub fn touched_pages(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Maps a virtual page to a frame (page-in or first touch).
+    pub fn map(&mut self, page: VirtPage, frame: FrameId) {
+        let prev = self.entries.insert(page, PageState::Resident(frame));
+        if !matches!(prev, Some(PageState::Resident(_))) {
+            self.resident += 1;
+        }
+    }
+
+    /// Unmaps a resident page, recording the swap slot it was written to.
+    ///
+    /// Returns the frame that was backing it, or `None` if the page was not
+    /// resident (in which case the table is left unchanged).
+    pub fn unmap_to_swap(&mut self, page: VirtPage, slot: SwapSlot) -> Option<FrameId> {
+        match self.entries.get(&page).copied() {
+            Some(PageState::Resident(frame)) => {
+                self.entries.insert(page, PageState::Swapped(slot));
+                self.resident -= 1;
+                Some(frame)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over all resident pages and their frames.
+    pub fn resident_iter(&self) -> impl Iterator<Item = (VirtPage, FrameId)> + '_ {
+        self.entries
+            .iter()
+            .filter_map(|(&page, &state)| match state {
+                PageState::Resident(frame) => Some((page, frame)),
+                _ => None,
+            })
+    }
+
+    /// Iterates over all swapped-out pages and their slots.
+    pub fn swapped_iter(&self) -> impl Iterator<Item = (VirtPage, SwapSlot)> + '_ {
+        self.entries
+            .iter()
+            .filter_map(|(&page, &state)| match state {
+                PageState::Swapped(slot) => Some((page, slot)),
+                _ => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn untouched_by_default() {
+        let pt = PageTable::new();
+        assert_eq!(pt.lookup(VirtPage(0)), PageState::Untouched);
+        assert_eq!(pt.resident_pages(), 0);
+        assert_eq!(pt.touched_pages(), 0);
+    }
+
+    #[test]
+    fn map_and_swap_cycle() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(1), FrameId(10));
+        assert!(pt.is_resident(VirtPage(1)));
+        assert_eq!(pt.resident_pages(), 1);
+
+        let frame = pt.unmap_to_swap(VirtPage(1), SwapSlot(7));
+        assert_eq!(frame, Some(FrameId(10)));
+        assert_eq!(pt.lookup(VirtPage(1)), PageState::Swapped(SwapSlot(7)));
+        assert_eq!(pt.resident_pages(), 0);
+        assert_eq!(pt.touched_pages(), 1);
+
+        // Page back in.
+        pt.map(VirtPage(1), FrameId(3));
+        assert_eq!(pt.lookup(VirtPage(1)), PageState::Resident(FrameId(3)));
+        assert_eq!(pt.resident_pages(), 1);
+    }
+
+    #[test]
+    fn unmap_of_non_resident_page_is_noop() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.unmap_to_swap(VirtPage(4), SwapSlot(1)), None);
+        pt.map(VirtPage(4), FrameId(0));
+        pt.unmap_to_swap(VirtPage(4), SwapSlot(1));
+        // Second unmap is a no-op.
+        assert_eq!(pt.unmap_to_swap(VirtPage(4), SwapSlot(2)), None);
+        assert_eq!(pt.lookup(VirtPage(4)), PageState::Swapped(SwapSlot(1)));
+    }
+
+    #[test]
+    fn remap_of_resident_page_does_not_double_count() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(9), FrameId(0));
+        pt.map(VirtPage(9), FrameId(1));
+        assert_eq!(pt.resident_pages(), 1);
+        assert_eq!(pt.lookup(VirtPage(9)), PageState::Resident(FrameId(1)));
+    }
+
+    #[test]
+    fn iterators_partition_pages() {
+        let mut pt = PageTable::new();
+        pt.map(VirtPage(1), FrameId(1));
+        pt.map(VirtPage(2), FrameId(2));
+        pt.unmap_to_swap(VirtPage(2), SwapSlot(20));
+        assert_eq!(pt.resident_iter().count(), 1);
+        assert_eq!(pt.swapped_iter().count(), 1);
+    }
+
+    proptest! {
+        /// The resident counter always matches the number of resident entries.
+        #[test]
+        fn prop_resident_count_consistent(
+            ops in proptest::collection::vec((0u64..32, any::<bool>()), 0..300),
+        ) {
+            let mut pt = PageTable::new();
+            for (page, map_in) in ops {
+                if map_in {
+                    pt.map(VirtPage(page), FrameId(page));
+                } else {
+                    let _ = pt.unmap_to_swap(VirtPage(page), SwapSlot(page));
+                }
+                prop_assert_eq!(pt.resident_pages(), pt.resident_iter().count() as u64);
+                prop_assert!(pt.resident_pages() <= pt.touched_pages());
+            }
+        }
+    }
+}

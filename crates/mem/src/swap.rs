@@ -1,0 +1,202 @@
+//! The shared swap space and its slot allocator.
+//!
+//! Linux keeps a single swap area shared by every process and tries to lay
+//! out consecutively swapped pages in consecutive slots (§2.3 of the paper).
+//! That layout is what makes sequential-disk prefetchers plausible — and what
+//! breaks down when multiple processes interleave their page-outs. The
+//! [`SwapSpace`] model reproduces both effects: slots are handed out mostly
+//! sequentially per allocation burst, and different processes' bursts
+//! interleave in the shared offset space.
+
+use crate::types::{Pid, SwapSlot, VirtPage};
+use std::collections::HashMap;
+
+/// The shared swap area: allocation of slots and slot → page bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use leap_mem::{Pid, SwapSpace, VirtPage};
+///
+/// let mut swap = SwapSpace::new(1024);
+/// let slot = swap.allocate(Pid(1), VirtPage(7)).unwrap();
+/// assert_eq!(swap.owner(slot), Some((Pid(1), VirtPage(7))));
+/// swap.free(slot);
+/// assert_eq!(swap.owner(slot), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapSpace {
+    capacity: u64,
+    /// Next slot to try for a fresh (never used) allocation; keeps the
+    /// sequential layout the kernel aims for.
+    next_fresh: u64,
+    /// Slots that have been freed and can be reused.
+    free_slots: Vec<SwapSlot>,
+    /// Owner of each in-use slot.
+    owners: HashMap<SwapSlot, (Pid, VirtPage)>,
+    /// Reverse map so a page that is swapped out again can reuse its slot,
+    /// which the kernel does when the swap-cache copy is still clean.
+    by_page: HashMap<(Pid, VirtPage), SwapSlot>,
+}
+
+impl SwapSpace {
+    /// Creates a swap space with `capacity` slots.
+    pub fn new(capacity: u64) -> Self {
+        SwapSpace {
+            capacity,
+            next_fresh: 0,
+            free_slots: Vec::new(),
+            owners: HashMap::new(),
+            by_page: HashMap::new(),
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of slots currently in use.
+    pub fn used_slots(&self) -> u64 {
+        self.owners.len() as u64
+    }
+
+    /// Allocates a slot for `(pid, page)`.
+    ///
+    /// If the page already owns a slot (it was swapped out before and the
+    /// mapping is still recorded), the same slot is returned — this models
+    /// the kernel reusing a clean swap-cache slot and is what preserves
+    /// spatial locality across repeated page-outs of the same region.
+    ///
+    /// Returns `None` when the swap area is full.
+    pub fn allocate(&mut self, pid: Pid, page: VirtPage) -> Option<SwapSlot> {
+        if let Some(&slot) = self.by_page.get(&(pid, page)) {
+            return Some(slot);
+        }
+        let slot = if self.next_fresh < self.capacity {
+            let s = SwapSlot(self.next_fresh);
+            self.next_fresh += 1;
+            s
+        } else {
+            self.free_slots.pop()?
+        };
+        self.owners.insert(slot, (pid, page));
+        self.by_page.insert((pid, page), slot);
+        Some(slot)
+    }
+
+    /// Frees a slot, forgetting its owner.
+    pub fn free(&mut self, slot: SwapSlot) {
+        if let Some(owner) = self.owners.remove(&slot) {
+            self.by_page.remove(&owner);
+            self.free_slots.push(slot);
+        }
+    }
+
+    /// Returns the process and virtual page stored in a slot, if any.
+    pub fn owner(&self, slot: SwapSlot) -> Option<(Pid, VirtPage)> {
+        self.owners.get(&slot).copied()
+    }
+
+    /// Returns the slot currently assigned to `(pid, page)`, if any.
+    pub fn slot_of(&self, pid: Pid, page: VirtPage) -> Option<SwapSlot> {
+        self.by_page.get(&(pid, page)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocation_is_sequential_for_one_process() {
+        let mut swap = SwapSpace::new(100);
+        let slots: Vec<u64> = (0..10)
+            .map(|i| swap.allocate(Pid(1), VirtPage(i)).unwrap().0)
+            .collect();
+        assert_eq!(slots, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_processes_share_the_offset_space() {
+        let mut swap = SwapSpace::new(100);
+        let a = swap.allocate(Pid(1), VirtPage(0)).unwrap();
+        let b = swap.allocate(Pid(2), VirtPage(0)).unwrap();
+        let c = swap.allocate(Pid(1), VirtPage(1)).unwrap();
+        // Process 1's pages are *not* contiguous in the swap space because
+        // process 2 grabbed the slot in between — the §2.3 observation.
+        assert_eq!(a.0 + 1, b.0);
+        assert_eq!(b.0 + 1, c.0);
+    }
+
+    #[test]
+    fn repeated_swap_out_reuses_the_slot() {
+        let mut swap = SwapSpace::new(10);
+        let first = swap.allocate(Pid(1), VirtPage(42)).unwrap();
+        let second = swap.allocate(Pid(1), VirtPage(42)).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(swap.used_slots(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut swap = SwapSpace::new(2);
+        assert!(swap.allocate(Pid(1), VirtPage(0)).is_some());
+        assert!(swap.allocate(Pid(1), VirtPage(1)).is_some());
+        assert!(swap.allocate(Pid(1), VirtPage(2)).is_none());
+        // Freeing makes room again.
+        let slot = swap.slot_of(Pid(1), VirtPage(0)).unwrap();
+        swap.free(slot);
+        assert!(swap.allocate(Pid(1), VirtPage(2)).is_some());
+    }
+
+    #[test]
+    fn free_clears_both_maps() {
+        let mut swap = SwapSpace::new(4);
+        let slot = swap.allocate(Pid(3), VirtPage(9)).unwrap();
+        swap.free(slot);
+        assert_eq!(swap.owner(slot), None);
+        assert_eq!(swap.slot_of(Pid(3), VirtPage(9)), None);
+        // Freeing an already-free slot is a harmless no-op.
+        swap.free(slot);
+        assert_eq!(swap.used_slots(), 0);
+    }
+
+    proptest! {
+        /// owners and by_page stay mutually consistent under random workloads.
+        #[test]
+        fn prop_maps_stay_consistent(
+            ops in proptest::collection::vec((0u32..4, 0u64..32, any::<bool>()), 0..200),
+        ) {
+            let mut swap = SwapSpace::new(64);
+            for (pid, page, alloc) in ops {
+                if alloc {
+                    let _ = swap.allocate(Pid(pid), VirtPage(page));
+                } else if let Some(slot) = swap.slot_of(Pid(pid), VirtPage(page)) {
+                    swap.free(slot);
+                }
+            }
+            // Every owner entry has a matching by_page entry and vice versa.
+            for (slot, (pid, page)) in swap.owners.iter() {
+                prop_assert_eq!(swap.by_page.get(&(*pid, *page)), Some(slot));
+            }
+            for ((pid, page), slot) in swap.by_page.iter() {
+                prop_assert_eq!(swap.owners.get(slot).copied(), Some((*pid, *page)));
+            }
+        }
+
+        /// Used slots never exceed capacity.
+        #[test]
+        fn prop_capacity_never_exceeded(
+            capacity in 1u64..64,
+            pages in proptest::collection::vec(0u64..1000, 0..200),
+        ) {
+            let mut swap = SwapSpace::new(capacity);
+            for p in pages {
+                let _ = swap.allocate(Pid(1), VirtPage(p));
+                prop_assert!(swap.used_slots() <= capacity);
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Latency histograms with percentile and CDF queries.
+
+use leap_sim_core::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A collection of latency samples supporting percentile, mean, and CDF
+/// queries.
+///
+/// Samples are kept exactly (the experiments record at most a few million
+/// samples); queries sort lazily and cache the sorted order until the next
+/// insertion.
+///
+/// # Examples
+///
+/// ```
+/// use leap_metrics::LatencyHistogram;
+/// use leap_sim_core::Nanos;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [1u64, 2, 3, 4, 100] {
+///     h.record(Nanos::from_micros(us));
+/// }
+/// assert_eq!(h.median(), Nanos::from_micros(3));
+/// assert_eq!(h.percentile(99.0), Nanos::from_micros(100));
+/// assert!(h.mean() > Nanos::from_micros(20));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Nanos) {
+        self.samples.push(latency.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the p-th percentile (p in `[0, 100]`). Returns zero for an
+    /// empty histogram.
+    pub fn percentile(&mut self, p: f64) -> Nanos {
+        if self.samples.is_empty() {
+            return Nanos::ZERO;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank percentile: the smallest sample with at least p % of
+        // the distribution at or below it.
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let index = rank.clamp(1, self.samples.len()) - 1;
+        Nanos::from_nanos(self.samples[index])
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> Nanos {
+        self.percentile(50.0)
+    }
+
+    /// The arithmetic mean. Returns zero for an empty histogram.
+    pub fn mean(&self) -> Nanos {
+        if self.samples.is_empty() {
+            return Nanos::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        Nanos::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The maximum sample. Returns zero for an empty histogram.
+    pub fn max(&self) -> Nanos {
+        Nanos::from_nanos(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// The minimum sample. Returns zero for an empty histogram.
+    pub fn min(&self) -> Nanos {
+        Nanos::from_nanos(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// The sum of all samples.
+    pub fn total(&self) -> Nanos {
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        Nanos::from_nanos(sum.min(u64::MAX as u128) as u64)
+    }
+
+    /// The fraction of samples ≤ `threshold` (the empirical CDF).
+    pub fn cdf_at(&mut self, threshold: Nanos) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let t = threshold.as_nanos();
+        let count = self.samples.partition_point(|&s| s <= t);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Produces `(latency, cumulative fraction)` points suitable for plotting
+    /// a CDF, at the given number of evenly spaced quantiles.
+    pub fn cdf_points(&mut self, points: usize) -> Vec<(Nanos, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        (1..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                let rank = ((q * (self.samples.len() - 1) as f64).round()) as usize;
+                (Nanos::from_nanos(self.samples[rank]), q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn us(v: u64) -> Nanos {
+        Nanos::from_micros(v)
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.median(), Nanos::ZERO);
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.percentile(99.0), Nanos::ZERO);
+        assert_eq!(h.cdf_at(us(10)), 0.0);
+        assert!(h.cdf_points(10).is_empty());
+    }
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(us(v));
+        }
+        assert_eq!(h.median(), us(50));
+        assert_eq!(h.percentile(99.0), us(99));
+        assert_eq!(h.percentile(0.0), us(1));
+        assert_eq!(h.percentile(100.0), us(100));
+        assert_eq!(h.min(), us(1));
+        assert_eq!(h.max(), us(100));
+    }
+
+    #[test]
+    fn mean_and_total() {
+        let mut h = LatencyHistogram::new();
+        h.record(us(10));
+        h.record(us(20));
+        h.record(us(30));
+        assert_eq!(h.mean(), us(20));
+        assert_eq!(h.total(), us(60));
+    }
+
+    #[test]
+    fn cdf_at_thresholds() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(us(v));
+        }
+        assert_eq!(h.cdf_at(us(2)), 0.5);
+        assert_eq!(h.cdf_at(us(4)), 1.0);
+        assert_eq!(h.cdf_at(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        a.record(us(1));
+        let mut b = LatencyHistogram::new();
+        b.record(us(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), us(3));
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in [5u64, 1, 9, 3, 7, 2, 8] {
+            h.record(us(v));
+        }
+        let points = h.cdf_points(5);
+        assert_eq!(points.len(), 5);
+        for pair in points.windows(2) {
+            assert!(pair[1].0 >= pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn prop_percentiles_monotone(
+            samples in proptest::collection::vec(0u64..10_000_000, 1..500),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let mut h = LatencyHistogram::new();
+            for s in &samples {
+                h.record(Nanos::from_nanos(*s));
+            }
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(h.percentile(lo) <= h.percentile(hi));
+            prop_assert!(h.percentile(0.0) >= h.min());
+            prop_assert!(h.percentile(100.0) <= h.max());
+        }
+
+        /// The CDF is 1.0 at the maximum sample.
+        #[test]
+        fn prop_cdf_reaches_one(
+            samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for s in &samples {
+                h.record(Nanos::from_nanos(*s));
+            }
+            let max = h.max();
+            prop_assert!((h.cdf_at(max) - 1.0).abs() < 1e-9);
+        }
+    }
+}

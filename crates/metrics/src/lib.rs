@@ -1,0 +1,24 @@
+//! Metrics and reporting for the Leap reproduction.
+//!
+//! Every experiment in the paper reports one of a small set of quantities:
+//! latency distributions (medians, 99th percentiles, CDFs/CCDFs), cache
+//! counters (adds, hits, misses, pollution), prefetch effectiveness
+//! (accuracy, coverage, timeliness — §3.1), and application-level completion
+//! time or throughput. This crate collects them:
+//!
+//! - [`histogram::LatencyHistogram`]: percentile and CDF queries over latency
+//!   samples.
+//! - [`cache_stats::CacheStats`]: cache adds/hits/misses/evictions and
+//!   pollution accounting.
+//! - [`prefetch_stats::PrefetchStats`]: accuracy, coverage, and timeliness.
+//! - [`report`]: plain-text table rendering used by the experiment binaries.
+
+pub mod cache_stats;
+pub mod histogram;
+pub mod prefetch_stats;
+pub mod report;
+
+pub use cache_stats::CacheStats;
+pub use histogram::LatencyHistogram;
+pub use prefetch_stats::PrefetchStats;
+pub use report::TextTable;

@@ -1,0 +1,56 @@
+//! Prefetching algorithms from *Effectively Prefetching Remote Memory with
+//! Leap* (USENIX ATC 2020), plus the baseline prefetchers the paper compares
+//! against.
+//!
+//! The crate is deliberately free of any simulator or kernel dependencies:
+//! a prefetcher consumes a stream of faulting page offsets (one stream per
+//! process) and produces, for each fault, the set of extra pages to read
+//! alongside the demanded page. This mirrors how Leap's kernel implementation
+//! hooks `do_swap_page()` / `swapin_readahead()`.
+//!
+//! # Components
+//!
+//! - [`history::AccessHistory`]: the fixed-size circular buffer of page-offset
+//!   deltas (§4.1 of the paper).
+//! - [`majority`]: the Boyer–Moore majority vote algorithm (linear time,
+//!   constant space) used by trend detection.
+//! - [`trend`]: `FindTrend` (Algorithm 1) — grows the detection window until a
+//!   majority delta emerges.
+//! - [`window`]: the adaptive prefetch-window controller (Algorithm 2,
+//!   `GetPrefetchWindowSize`).
+//! - [`leap`]: [`LeapPrefetcher`], the full majority-trend prefetcher
+//!   (`DoPrefetch`).
+//! - [`baselines`]: Next-N-Line, Stride, Linux-style Read-Ahead, and a
+//!   no-prefetch baseline.
+//!
+//! # Quick example
+//!
+//! ```
+//! use leap_prefetcher::{LeapPrefetcher, Prefetcher, PageAddr};
+//!
+//! let mut leap = LeapPrefetcher::default();
+//! // A regular stride of +2 pages quickly produces prefetch candidates.
+//! let mut last = Vec::new();
+//! for i in 0..16u64 {
+//!     let decision = leap.on_fault(PageAddr(100 + 2 * i));
+//!     last = decision.prefetch;
+//! }
+//! assert!(!last.is_empty());
+//! // Candidates follow the detected +2 trend.
+//! assert_eq!(last[0], PageAddr(100 + 2 * 15 + 2));
+//! ```
+
+pub mod baselines;
+pub mod history;
+pub mod leap;
+pub mod majority;
+pub mod trend;
+pub mod types;
+pub mod window;
+
+pub use baselines::{NextNLinePrefetcher, NoPrefetcher, ReadAheadPrefetcher, StridePrefetcher};
+pub use history::AccessHistory;
+pub use leap::{LeapConfig, LeapPrefetcher};
+pub use trend::{find_trend, TrendOutcome};
+pub use types::{Delta, PageAddr, PrefetchDecision, Prefetcher, PrefetcherKind};
+pub use window::PrefetchWindow;

@@ -1,0 +1,306 @@
+//! The Boyer–Moore majority vote algorithm.
+//!
+//! `FindTrend` (Algorithm 1 in the paper) needs to know whether any delta
+//! value occupies a strict majority of a detection window. The Boyer–Moore
+//! majority vote algorithm finds the only possible candidate in a single
+//! linear pass with O(1) extra space; a second pass confirms whether the
+//! candidate really is a majority.
+
+/// The result of running a majority vote over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MajorityOutcome<T> {
+    /// Some element appears strictly more than `⌊w/2⌋` times.
+    Majority(T),
+    /// No element has a strict majority in the window.
+    NoMajority,
+}
+
+impl<T> MajorityOutcome<T> {
+    /// Returns the majority element, if any.
+    pub fn element(self) -> Option<T> {
+        match self {
+            MajorityOutcome::Majority(x) => Some(x),
+            MajorityOutcome::NoMajority => None,
+        }
+    }
+
+    /// True if a majority element exists.
+    pub fn is_majority(&self) -> bool {
+        matches!(self, MajorityOutcome::Majority(_))
+    }
+}
+
+/// Finds the Boyer–Moore candidate for a window without verifying it.
+///
+/// Returns `None` only for an empty iterator. The candidate is guaranteed to
+/// be the majority element *if* a majority element exists; otherwise it is an
+/// arbitrary element and must be verified with a second pass.
+pub fn boyer_moore_candidate<T, I>(items: I) -> Option<T>
+where
+    T: PartialEq + Copy,
+    I: IntoIterator<Item = T>,
+{
+    let mut candidate: Option<T> = None;
+    let mut count: usize = 0;
+    for item in items {
+        match candidate {
+            Some(c) if count > 0 => {
+                if c == item {
+                    count += 1;
+                } else {
+                    count -= 1;
+                }
+            }
+            _ => {
+                candidate = Some(item);
+                count = 1;
+            }
+        }
+    }
+    candidate
+}
+
+/// Runs the full (two-pass) majority vote over a window.
+///
+/// An element is the majority only if it appears at least `⌊w/2⌋ + 1` times
+/// in a window of size `w`, matching the paper's definition in §3.2.1.
+///
+/// # Examples
+///
+/// ```
+/// use leap_prefetcher::majority::{majority_vote, MajorityOutcome};
+///
+/// assert_eq!(majority_vote(&[-3, -3, -3, 7]), MajorityOutcome::Majority(-3));
+/// assert_eq!(majority_vote(&[1, 2, 1, 2]), MajorityOutcome::NoMajority);
+/// assert_eq!(majority_vote::<i64>(&[]), MajorityOutcome::NoMajority);
+/// ```
+pub fn majority_vote<T>(window: &[T]) -> MajorityOutcome<T>
+where
+    T: PartialEq + Copy,
+{
+    if window.is_empty() {
+        return MajorityOutcome::NoMajority;
+    }
+    let candidate = match boyer_moore_candidate(window.iter().copied()) {
+        Some(c) => c,
+        None => return MajorityOutcome::NoMajority,
+    };
+    let occurrences = window.iter().filter(|&&x| x == candidate).count();
+    if occurrences >= window.len() / 2 + 1 {
+        MajorityOutcome::Majority(candidate)
+    } else {
+        MajorityOutcome::NoMajority
+    }
+}
+
+/// Streaming majority-vote state, used by `FindTrend` to extend a window
+/// without rescanning elements it has already consumed (the paper's
+/// "searching in a new window does not need to start from the beginning").
+#[derive(Debug, Clone, Default)]
+pub struct StreamingVote<T> {
+    candidate: Option<T>,
+    vote: usize,
+    seen: usize,
+    candidate_count: usize,
+}
+
+impl<T: PartialEq + Copy> StreamingVote<T> {
+    /// Creates an empty voting state.
+    pub fn new() -> Self {
+        StreamingVote {
+            candidate: None,
+            vote: 0,
+            seen: 0,
+            candidate_count: 0,
+        }
+    }
+
+    /// Feeds one more element into the vote.
+    pub fn push(&mut self, item: T) {
+        self.seen += 1;
+        match self.candidate {
+            Some(c) if self.vote > 0 => {
+                if c == item {
+                    self.vote += 1;
+                    self.candidate_count += 1;
+                } else {
+                    self.vote -= 1;
+                }
+            }
+            _ => {
+                self.candidate = Some(item);
+                self.vote = 1;
+                self.candidate_count = 1;
+            }
+        }
+    }
+
+    /// Number of elements consumed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Returns the current candidate without verification.
+    pub fn candidate(&self) -> Option<T> {
+        self.candidate
+    }
+
+    /// Verifies the candidate against an iterator over the *same* window that
+    /// was fed into [`StreamingVote::push`], returning the majority outcome.
+    ///
+    /// The caller provides the window again because the streaming state keeps
+    /// no copy of the elements (O(1) space, as the paper requires).
+    pub fn verify<I>(&self, window: I) -> MajorityOutcome<T>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let candidate = match self.candidate {
+            Some(c) => c,
+            None => return MajorityOutcome::NoMajority,
+        };
+        let mut occurrences = 0usize;
+        let mut total = 0usize;
+        for item in window {
+            total += 1;
+            if item == candidate {
+                occurrences += 1;
+            }
+        }
+        if total == 0 {
+            return MajorityOutcome::NoMajority;
+        }
+        if occurrences >= total / 2 + 1 {
+            MajorityOutcome::Majority(candidate)
+        } else {
+            MajorityOutcome::NoMajority
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_window_has_no_majority() {
+        assert_eq!(majority_vote::<i64>(&[]), MajorityOutcome::NoMajority);
+        assert_eq!(boyer_moore_candidate(Vec::<i64>::new()), None);
+    }
+
+    #[test]
+    fn single_element_is_majority() {
+        assert_eq!(majority_vote(&[5]), MajorityOutcome::Majority(5));
+    }
+
+    #[test]
+    fn clear_majority_detected() {
+        assert_eq!(
+            majority_vote(&[-3, -3, -3, 72]),
+            MajorityOutcome::Majority(-3)
+        );
+        assert_eq!(
+            majority_vote(&[2, 2, 2, 2, -58, 7, 2]),
+            MajorityOutcome::Majority(2)
+        );
+    }
+
+    #[test]
+    fn exact_half_is_not_majority() {
+        // 2 of 4 is not a strict majority (needs ⌊4/2⌋+1 = 3).
+        assert_eq!(majority_vote(&[1, 1, 2, 3]), MajorityOutcome::NoMajority);
+    }
+
+    #[test]
+    fn bare_majority_detected() {
+        // 3 of 5 is a strict majority.
+        assert_eq!(
+            majority_vote(&[1, 2, 1, 3, 1]),
+            MajorityOutcome::Majority(1)
+        );
+    }
+
+    #[test]
+    fn alternating_has_no_majority() {
+        assert_eq!(
+            majority_vote(&[1, 2, 1, 2, 1, 2]),
+            MajorityOutcome::NoMajority
+        );
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert_eq!(MajorityOutcome::Majority(3).element(), Some(3));
+        assert_eq!(MajorityOutcome::<i32>::NoMajority.element(), None);
+        assert!(MajorityOutcome::Majority(3).is_majority());
+    }
+
+    #[test]
+    fn streaming_vote_matches_batch() {
+        let window = [-3i64, -3, 72, -3, -3, 5, -3];
+        let mut sv = StreamingVote::new();
+        for &x in &window {
+            sv.push(x);
+        }
+        assert_eq!(sv.seen(), window.len());
+        assert_eq!(
+            sv.verify(window.iter().copied()),
+            MajorityOutcome::Majority(-3)
+        );
+        assert_eq!(majority_vote(&window), MajorityOutcome::Majority(-3));
+    }
+
+    #[test]
+    fn streaming_vote_empty() {
+        let sv: StreamingVote<i64> = StreamingVote::new();
+        assert_eq!(sv.verify(std::iter::empty()), MajorityOutcome::NoMajority);
+    }
+
+    proptest! {
+        /// If any element truly holds a strict majority, Boyer–Moore must find it.
+        #[test]
+        fn prop_finds_true_majority(
+            majority in -100i64..100,
+            extra in proptest::collection::vec(-100i64..100, 0..40),
+        ) {
+            // Build a window where `majority` appears len(extra)+1 times,
+            // guaranteeing a strict majority regardless of what `extra` holds.
+            let mut window: Vec<i64> = Vec::new();
+            for (i, e) in extra.iter().enumerate() {
+                window.push(*e);
+                window.push(majority);
+                if i % 2 == 0 {
+                    // Interleave unevenly to vary positions.
+                    window.push(majority);
+                }
+            }
+            window.push(majority);
+            let count_major = window.iter().filter(|&&x| x == majority).count();
+            prop_assume!(count_major >= window.len() / 2 + 1);
+            prop_assert_eq!(majority_vote(&window), MajorityOutcome::Majority(majority));
+        }
+
+        /// The two-pass vote never reports a non-majority element.
+        #[test]
+        fn prop_reported_majority_is_real(
+            window in proptest::collection::vec(-10i64..10, 1..64),
+        ) {
+            if let MajorityOutcome::Majority(m) = majority_vote(&window) {
+                let occurrences = window.iter().filter(|&&x| x == m).count();
+                prop_assert!(occurrences >= window.len() / 2 + 1);
+            }
+        }
+
+        /// Streaming and batch implementations agree on every input.
+        #[test]
+        fn prop_streaming_equals_batch(
+            window in proptest::collection::vec(-10i64..10, 0..64),
+        ) {
+            let mut sv = StreamingVote::new();
+            for &x in &window {
+                sv.push(x);
+            }
+            prop_assert_eq!(sv.verify(window.iter().copied()), majority_vote(&window));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Trend detection (`FindTrend`, Algorithm 1 of the paper).
+//!
+//! Given a process's [`AccessHistory`], `FindTrend` looks for a *majority*
+//! delta inside a detection window anchored at the head (most recent access).
+//! It starts with a small window of `Hsize / Nsplit` entries and doubles the
+//! window until either a majority delta appears or the window exceeds the
+//! whole history, in which case no trend exists.
+//!
+//! Starting small keeps the common case cheap (a regular stream is majority-
+//! dominated in any sub-window) while doubling makes the detector robust to
+//! short-term irregularities: a window of size `w` tolerates up to
+//! `⌊w/2⌋ − 1` interleaved outliers.
+
+use crate::history::AccessHistory;
+use crate::majority::{MajorityOutcome, StreamingVote};
+use crate::types::Delta;
+use serde::{Deserialize, Serialize};
+
+/// Default number of splits of the history used to size the initial
+/// detection window (`Nsplit` in Algorithm 1).
+pub const DEFAULT_N_SPLIT: usize = 4;
+
+/// The outcome of a trend-detection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrendOutcome {
+    /// A majority delta was found within some detection window.
+    Trend {
+        /// The majority delta.
+        delta: Delta,
+        /// The window size in which the majority was first detected.
+        window: usize,
+    },
+    /// No majority delta exists in any window up to the full history.
+    NoTrend,
+}
+
+impl TrendOutcome {
+    /// Returns the detected majority delta, if any.
+    pub fn delta(self) -> Option<Delta> {
+        match self {
+            TrendOutcome::Trend { delta, .. } => Some(delta),
+            TrendOutcome::NoTrend => None,
+        }
+    }
+
+    /// True if a trend was detected.
+    pub fn is_trend(self) -> bool {
+        matches!(self, TrendOutcome::Trend { .. })
+    }
+}
+
+/// Runs `FindTrend` over a history with the given `Nsplit`.
+///
+/// The detection window grows geometrically: `Hsize/Nsplit`, then double
+/// that, and so on until it covers the whole recorded history. Elements are
+/// consumed exactly once across all window growths (streaming Boyer–Moore
+/// vote), so the worst case is `O(Hsize)` time and `O(1)` extra space,
+/// matching the complexity analysis in §3.3 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use leap_prefetcher::{find_trend, AccessHistory, Delta, PageAddr};
+///
+/// let mut h = AccessHistory::new(8);
+/// for addr in [0x48u64, 0x45, 0x42, 0x3F] {
+///     h.record(PageAddr(addr));
+/// }
+/// let outcome = find_trend(&h, 2);
+/// assert_eq!(outcome.delta(), Some(Delta(-3)));
+/// ```
+pub fn find_trend(history: &AccessHistory, n_split: usize) -> TrendOutcome {
+    let n_split = n_split.max(1);
+    let h_len = history.len();
+    if h_len == 0 {
+        return TrendOutcome::NoTrend;
+    }
+
+    // Initial window: Hsize / Nsplit, but at least 1 and at most the number
+    // of recorded entries.
+    let mut window = (history.capacity() / n_split).max(1).min(h_len);
+
+    // The streaming vote consumes each delta exactly once even as the window
+    // doubles; verification re-reads only the current window, which is the
+    // cheap second pass of Boyer–Moore.
+    let mut vote: StreamingVote<Delta> = StreamingVote::new();
+    let mut iter = history.iter_recent();
+
+    loop {
+        // Feed the deltas that extend the previous window to the new size.
+        while vote.seen() < window {
+            match iter.next() {
+                Some(delta) => vote.push(delta),
+                None => break,
+            }
+        }
+
+        match vote.verify(history.iter_recent().take(vote.seen())) {
+            MajorityOutcome::Majority(delta) => {
+                return TrendOutcome::Trend {
+                    delta,
+                    window: vote.seen(),
+                };
+            }
+            MajorityOutcome::NoMajority => {
+                if window >= h_len {
+                    return TrendOutcome::NoTrend;
+                }
+                window = (window * 2).min(h_len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PageAddr;
+    use proptest::prelude::*;
+
+    fn history_from_addrs(capacity: usize, addrs: &[u64]) -> AccessHistory {
+        let mut h = AccessHistory::new(capacity);
+        for &a in addrs {
+            h.record(PageAddr(a));
+        }
+        h
+    }
+
+    #[test]
+    fn empty_history_has_no_trend() {
+        let h = AccessHistory::new(8);
+        assert_eq!(find_trend(&h, 2), TrendOutcome::NoTrend);
+    }
+
+    #[test]
+    fn steady_stride_detected_in_small_window() {
+        let addrs: Vec<u64> = (0..16).map(|i| 1000 + 7 * i).collect();
+        let h = history_from_addrs(32, &addrs);
+        let outcome = find_trend(&h, 4);
+        assert_eq!(outcome.delta(), Some(Delta(7)));
+        match outcome {
+            TrendOutcome::Trend { window, .. } => {
+                assert!(window <= 8, "expected small window, got {window}")
+            }
+            TrendOutcome::NoTrend => panic!("expected trend"),
+        }
+    }
+
+    #[test]
+    fn figure5_time_t3_detects_minus_three() {
+        // Figure 5a: after 0x48, 0x45, 0x42, 0x3F the majority delta is -3.
+        let h = history_from_addrs(8, &[0x48, 0x45, 0x42, 0x3F]);
+        assert_eq!(find_trend(&h, 2).delta(), Some(Delta(-3)));
+    }
+
+    #[test]
+    fn figure5_time_t7_finds_no_majority() {
+        // Figure 5b: at t7 the window holds +72(0 for the first), -3, -3, -3,
+        // -3, -58, +2, +2 — neither the small window (t4–t7) nor the full
+        // window has a strict majority.
+        let h = history_from_addrs(8, &[0x48, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04, 0x06]);
+        assert_eq!(find_trend(&h, 2), TrendOutcome::NoTrend);
+    }
+
+    #[test]
+    fn figure5_time_t8_adapts_to_new_trend() {
+        // Figure 5c: one more access (0x08) makes +2 the majority of the
+        // most-recent window (t5–t8).
+        let h = history_from_addrs(8, &[0x48, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04, 0x06, 0x08]);
+        assert_eq!(find_trend(&h, 2).delta(), Some(Delta(2)));
+    }
+
+    #[test]
+    fn figure5_time_t15_ignores_short_term_irregularity() {
+        // Figure 5d: the two irregular jumps at t12/t13 do not break the +2
+        // majority over the final window.
+        let addrs = [
+            0x48u64, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04, 0x06, 0x08, 0x0A, 0x0C, 0x10, 0x39, 0x12,
+            0x14, 0x16,
+        ];
+        let h = history_from_addrs(8, &addrs);
+        assert_eq!(find_trend(&h, 2).delta(), Some(Delta(2)));
+    }
+
+    #[test]
+    fn tolerates_up_to_half_minus_one_irregularities() {
+        // 5 entries of +4 and 3 irregular entries in an 8-entry window:
+        // the +4 trend must still be detected.
+        let mut h = AccessHistory::new(8);
+        let addrs = [100u64, 104, 108, 112, 900, 904, 300, 304, 308];
+        for a in addrs {
+            h.record(PageAddr(a));
+        }
+        assert_eq!(find_trend(&h, 1).delta(), Some(Delta(4)));
+    }
+
+    #[test]
+    fn perfectly_interleaved_strides_yield_no_trend() {
+        // Two interleaved streams with different strides produce alternating
+        // deltas with no majority (the paper's §3.2.2 discussion).
+        let mut h = AccessHistory::new(8);
+        let mut a = 0u64;
+        let mut b = 1_000u64;
+        let mut addrs = Vec::new();
+        for _ in 0..8 {
+            a += 2;
+            b += 7;
+            addrs.push(a);
+            addrs.push(b);
+        }
+        for addr in addrs {
+            h.record(PageAddr(addr));
+        }
+        assert_eq!(find_trend(&h, 2), TrendOutcome::NoTrend);
+    }
+
+    #[test]
+    fn n_split_zero_treated_as_one() {
+        let addrs: Vec<u64> = (0..8).map(|i| 10 + i).collect();
+        let h = history_from_addrs(8, &addrs);
+        assert_eq!(find_trend(&h, 0).delta(), Some(Delta(1)));
+    }
+
+    #[test]
+    fn partial_history_smaller_than_initial_window() {
+        // Only two accesses recorded in a 32-entry history: initial window of
+        // Hsize/Nsplit = 8 exceeds the recorded length and must be clamped.
+        let h = history_from_addrs(32, &[100, 103]);
+        // Deltas are [0, +3]; no strict majority in a window of 2.
+        assert_eq!(find_trend(&h, 4), TrendOutcome::NoTrend);
+        // A third access makes +3 the majority (2 of 3).
+        let h = history_from_addrs(32, &[100, 103, 106]);
+        assert_eq!(find_trend(&h, 4).delta(), Some(Delta(3)));
+    }
+
+    proptest! {
+        /// A detected trend always holds a strict majority of some
+        /// head-anchored window.
+        #[test]
+        fn prop_detected_trend_is_a_real_majority(
+            addrs in proptest::collection::vec(0u64..100_000, 1..64),
+            n_split in 1usize..8,
+        ) {
+            let h = history_from_addrs(32, &addrs);
+            if let TrendOutcome::Trend { delta, window } = find_trend(&h, n_split) {
+                let recent = h.recent(window);
+                let occurrences = recent.iter().filter(|&&d| d == delta).count();
+                prop_assert!(occurrences >= recent.len() / 2 + 1);
+            }
+        }
+
+        /// A pure stride stream (no irregularities) always yields its stride.
+        #[test]
+        fn prop_pure_stride_always_detected(
+            start in 0u64..1_000_000,
+            stride in 1u64..128,
+            len in 3usize..64,
+            n_split in 1usize..8,
+        ) {
+            let addrs: Vec<u64> = (0..len as u64).map(|i| start + stride * i).collect();
+            let h = history_from_addrs(32, &addrs);
+            prop_assert_eq!(find_trend(&h, n_split).delta(), Some(Delta(stride as i64)));
+        }
+
+        /// FindTrend never panics on arbitrary inputs.
+        #[test]
+        fn prop_never_panics(
+            addrs in proptest::collection::vec(0u64..u64::MAX / 2, 0..128),
+            cap in 1usize..64,
+            n_split in 0usize..10,
+        ) {
+            let h = history_from_addrs(cap, &addrs);
+            let _ = find_trend(&h, n_split);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Shared types for the prefetcher crate: page addresses, deltas, the
+//! [`Prefetcher`] trait, and prefetch decisions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A page address in the slower-memory (swap / remote) offset space.
+///
+/// Leap records accesses at page granularity: for paging front-ends this is
+/// the swap-slot offset, for VFS front-ends it is the file page index. The
+/// prefetcher never needs to know which.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageAddr(pub u64);
+
+impl PageAddr {
+    /// Applies a signed delta, saturating at the edges of the address space.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use leap_prefetcher::{Delta, PageAddr};
+    /// assert_eq!(PageAddr(10).offset(Delta(-3)), PageAddr(7));
+    /// assert_eq!(PageAddr(1).offset(Delta(-5)), PageAddr(0));
+    /// ```
+    pub fn offset(self, delta: Delta) -> PageAddr {
+        if delta.0 >= 0 {
+            PageAddr(self.0.saturating_add(delta.0 as u64))
+        } else {
+            PageAddr(self.0.saturating_sub(delta.0.unsigned_abs()))
+        }
+    }
+
+    /// Returns the signed difference `self - earlier` as a [`Delta`].
+    ///
+    /// Differences that do not fit in an `i64` are clamped; such jumps are far
+    /// larger than any physically meaningful stride and are treated as
+    /// irregular accesses anyway.
+    pub fn delta_from(self, earlier: PageAddr) -> Delta {
+        if self.0 >= earlier.0 {
+            Delta((self.0 - earlier.0).min(i64::MAX as u64) as i64)
+        } else {
+            Delta(-((earlier.0 - self.0).min(i64::MAX as u64) as i64))
+        }
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// The signed difference between two consecutive faulting page addresses.
+///
+/// `AccessHistory` stores deltas rather than absolute addresses (§4.1): this
+/// keeps the history compact and makes majority voting directly meaningful.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Delta(pub i64);
+
+impl Delta {
+    /// The zero delta (repeated access to the same page).
+    pub const ZERO: Delta = Delta(0);
+
+    /// Returns true if this delta represents a forward or backward unit step.
+    pub fn is_sequential(self) -> bool {
+        self.0 == 1 || self.0 == -1
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 0 {
+            write!(f, "+{}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Which prefetching algorithm a component is using.
+///
+/// Used by the experiment harness to parameterise runs and label results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching at all; only the demanded page is read.
+    None,
+    /// Next-N-Line: always prefetch the next `N` sequential pages.
+    NextNLine,
+    /// Stride: prefetch along the stride between the last two faults.
+    Stride,
+    /// Linux-style Read-Ahead: aligned blocks, window doubling on sequential hits.
+    ReadAhead,
+    /// Leap's majority-trend prefetcher.
+    Leap,
+}
+
+impl PrefetcherKind {
+    /// All kinds evaluated by the paper (Figure 9/10), in presentation order.
+    pub const EVALUATED: [PrefetcherKind; 4] = [
+        PrefetcherKind::NextNLine,
+        PrefetcherKind::Stride,
+        PrefetcherKind::ReadAhead,
+        PrefetcherKind::Leap,
+    ];
+
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "No-Prefetch",
+            PrefetcherKind::NextNLine => "Next-N-Line",
+            PrefetcherKind::Stride => "Stride",
+            PrefetcherKind::ReadAhead => "Read-Ahead",
+            PrefetcherKind::Leap => "Leap",
+        }
+    }
+}
+
+impl fmt::Display for PrefetcherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of a prefetch decision for one page fault.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrefetchDecision {
+    /// Extra pages to read alongside the faulting page, in issue order.
+    /// The demanded page itself is *not* included.
+    pub prefetch: Vec<PageAddr>,
+    /// True if the decision was made speculatively (no current majority trend;
+    /// the previous trend was reused — Algorithm 2, line 25).
+    pub speculative: bool,
+}
+
+impl PrefetchDecision {
+    /// A decision that prefetches nothing.
+    pub fn none() -> Self {
+        PrefetchDecision::default()
+    }
+
+    /// Builds a non-speculative decision from candidate pages.
+    pub fn pages(prefetch: Vec<PageAddr>) -> Self {
+        PrefetchDecision {
+            prefetch,
+            speculative: false,
+        }
+    }
+
+    /// Number of candidate pages.
+    pub fn len(&self) -> usize {
+        self.prefetch.len()
+    }
+
+    /// True if no pages will be prefetched.
+    pub fn is_empty(&self) -> bool {
+        self.prefetch.is_empty()
+    }
+}
+
+/// A per-process prefetching algorithm.
+///
+/// The driving loop (the fault engine in the `leap` crate, or a bare trace
+/// replayer) calls [`Prefetcher::on_fault`] for every access that misses local
+/// memory and [`Prefetcher::on_prefetch_hit`] whenever an access is served
+/// from the prefetch cache, which is the feedback signal used to grow or
+/// shrink the prefetch window.
+pub trait Prefetcher: Send + fmt::Debug {
+    /// Records a faulting access to `addr` and returns the pages to prefetch.
+    fn on_fault(&mut self, addr: PageAddr) -> PrefetchDecision;
+
+    /// Records that a previously prefetched page was hit in the cache.
+    fn on_prefetch_hit(&mut self, addr: PageAddr);
+
+    /// Returns which algorithm this is (for reporting).
+    fn kind(&self) -> PrefetcherKind;
+
+    /// Resets all internal state (history, windows, counters).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_addr_offset_saturates() {
+        assert_eq!(PageAddr(5).offset(Delta(10)), PageAddr(15));
+        assert_eq!(PageAddr(5).offset(Delta(-10)), PageAddr(0));
+        assert_eq!(PageAddr(u64::MAX).offset(Delta(5)), PageAddr(u64::MAX));
+    }
+
+    #[test]
+    fn delta_from_is_signed() {
+        assert_eq!(PageAddr(10).delta_from(PageAddr(7)), Delta(3));
+        assert_eq!(PageAddr(7).delta_from(PageAddr(10)), Delta(-3));
+        assert_eq!(PageAddr(7).delta_from(PageAddr(7)), Delta(0));
+    }
+
+    #[test]
+    fn delta_display_signs() {
+        assert_eq!(format!("{}", Delta(3)), "+3");
+        assert_eq!(format!("{}", Delta(-3)), "-3");
+        assert_eq!(format!("{}", Delta(0)), "+0");
+    }
+
+    #[test]
+    fn sequential_deltas() {
+        assert!(Delta(1).is_sequential());
+        assert!(Delta(-1).is_sequential());
+        assert!(!Delta(2).is_sequential());
+        assert!(!Delta(0).is_sequential());
+    }
+
+    #[test]
+    fn decision_helpers() {
+        assert!(PrefetchDecision::none().is_empty());
+        let d = PrefetchDecision::pages(vec![PageAddr(1), PageAddr(2)]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.speculative);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(PrefetcherKind::Leap.label(), "Leap");
+        assert_eq!(PrefetcherKind::ReadAhead.label(), "Read-Ahead");
+        assert_eq!(PrefetcherKind::EVALUATED.len(), 4);
+    }
+}

@@ -1,0 +1,366 @@
+//! The host agent: slab placement, replication, and remote I/O.
+//!
+//! Each host machine runs an agent that exposes a remote I/O interface to the
+//! VFS/VMM (§4.4). The agent divides the remote address space into slabs,
+//! places each slab on remote machines using the power of two choices to keep
+//! memory balanced (§4.5), optionally replicates slabs for fault tolerance,
+//! and forwards page reads/writes to per-core RDMA dispatch queues.
+
+use crate::backend::{BackendKind, StorageBackend};
+use crate::dispatch::DispatchQueues;
+use crate::slab::{MachineId, RemoteCluster, SlabMap, DEFAULT_SLAB_BYTES};
+use leap_sim_core::{DetRng, Nanos};
+
+/// Whether a remote I/O is a read (page-in) or a write (page-out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteIoKind {
+    /// Fetch a page from remote memory.
+    Read,
+    /// Push a page to remote memory.
+    Write,
+}
+
+/// The latency breakdown of one remote I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteIoResult {
+    /// Which machine served the primary copy.
+    pub machine: MachineId,
+    /// Delay spent waiting in the per-core dispatch queue.
+    pub queueing_delay: Nanos,
+    /// Transport + remote-side service time.
+    pub transport_latency: Nanos,
+    /// Total latency as seen by the caller.
+    pub total: Nanos,
+}
+
+/// Configuration for a [`HostAgent`].
+#[derive(Debug, Clone, Copy)]
+pub struct HostAgentConfig {
+    /// Slab size in bytes (default 1 GB).
+    pub slab_bytes: u64,
+    /// Number of per-core dispatch queues (default 8).
+    pub cores: usize,
+    /// Number of replicas per slab, including the primary (default 2:
+    /// remote in-memory replication is Leap's default fault-tolerance story).
+    pub replication: usize,
+    /// The transport/device used to reach remote memory (default RDMA).
+    pub backend: BackendKind,
+}
+
+impl Default for HostAgentConfig {
+    fn default() -> Self {
+        HostAgentConfig {
+            slab_bytes: DEFAULT_SLAB_BYTES,
+            cores: 8,
+            replication: 2,
+            backend: BackendKind::Rdma,
+        }
+    }
+}
+
+/// The host-side remote memory agent.
+///
+/// # Examples
+///
+/// ```
+/// use leap_remote::{HostAgent, HostAgentConfig, RemoteCluster, RemoteIoKind};
+/// use leap_sim_core::{DetRng, Nanos};
+///
+/// let cluster = RemoteCluster::homogeneous(3, 64);
+/// let mut agent = HostAgent::new(HostAgentConfig::default(), cluster, DetRng::seed_from(1));
+/// let result = agent
+///     .remote_io(RemoteIoKind::Read, 12_345, 0, Nanos::ZERO)
+///     .expect("cluster has capacity");
+/// assert!(result.total >= result.transport_latency);
+/// ```
+#[derive(Debug)]
+pub struct HostAgent {
+    config: HostAgentConfig,
+    cluster: RemoteCluster,
+    slab_map: SlabMap,
+    backend: StorageBackend,
+    queues: DispatchQueues,
+    rng: DetRng,
+    reads: u64,
+    writes: u64,
+}
+
+impl HostAgent {
+    /// Creates an agent over the given cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replication` is zero or `config.cores` is zero.
+    pub fn new(config: HostAgentConfig, cluster: RemoteCluster, rng: DetRng) -> Self {
+        assert!(config.replication >= 1, "replication must be at least 1");
+        HostAgent {
+            slab_map: SlabMap::new(config.slab_bytes),
+            backend: StorageBackend::new(config.backend),
+            queues: DispatchQueues::new(config.cores),
+            config,
+            cluster,
+            rng,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Replaces the backend latency model (useful for tests and ablations).
+    pub fn set_backend(&mut self, backend: StorageBackend) {
+        self.backend = backend;
+    }
+
+    /// The agent configuration.
+    pub fn config(&self) -> &HostAgentConfig {
+        &self.config
+    }
+
+    /// The cluster state (for balance/inventory reports).
+    pub fn cluster(&self) -> &RemoteCluster {
+        &self.cluster
+    }
+
+    /// Number of slabs the agent has mapped so far.
+    pub fn mapped_slabs(&self) -> usize {
+        self.slab_map.mapped_slabs()
+    }
+
+    /// Total reads and writes served.
+    pub fn io_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Ensures the slab containing `page_offset` is mapped, placing it with
+    /// the power of two choices (plus replicas) if needed.
+    ///
+    /// Returns the primary machine, or `None` if the cluster is out of slab
+    /// capacity.
+    pub fn ensure_mapped(&mut self, page_offset: u64) -> Option<MachineId> {
+        let slab = self.slab_map.slab_of_page(page_offset);
+        if let Some(machines) = self.slab_map.machines_of(slab) {
+            return machines.first().copied();
+        }
+        let placements = self.place_slab()?;
+        let primary = placements.first().copied();
+        self.slab_map.place(slab, placements);
+        primary
+    }
+
+    /// Places one slab: the primary via the power of two choices, replicas on
+    /// the least-loaded remaining machines.
+    fn place_slab(&mut self) -> Option<Vec<MachineId>> {
+        let n = self.cluster.len();
+        if n == 0 {
+            return None;
+        }
+        let mut chosen: Vec<usize> = Vec::new();
+
+        // Primary: power of two choices — sample two distinct machines and
+        // keep the less loaded one (§4.5).
+        let primary = if n == 1 {
+            0
+        } else {
+            let a = self.rng.gen_range_usize(0, n);
+            let mut b = self.rng.gen_range_usize(0, n);
+            while b == a {
+                b = self.rng.gen_range_usize(0, n);
+            }
+            let load = |i: usize| {
+                self.cluster
+                    .machine(i)
+                    .map(|m| (m.is_full(), m.hosted_slabs()))
+                    .unwrap_or((true, u64::MAX))
+            };
+            if load(a) <= load(b) {
+                a
+            } else {
+                b
+            }
+        };
+        chosen.push(primary);
+
+        // Replicas: pick the least-loaded machines not already chosen.
+        let replicas_needed = self.config.replication.saturating_sub(1).min(n - 1);
+        let mut candidates: Vec<usize> = (0..n).filter(|i| !chosen.contains(i)).collect();
+        candidates.sort_by_key(|&i| {
+            self.cluster
+                .machine(i)
+                .map(|m| m.hosted_slabs())
+                .unwrap_or(u64::MAX)
+        });
+        chosen.extend(candidates.into_iter().take(replicas_needed));
+
+        // Commit the placements; bail out if any chosen machine is full.
+        let mut ids = Vec::with_capacity(chosen.len());
+        for idx in chosen {
+            match self.cluster.host_slab_on(idx) {
+                Some(id) => ids.push(id),
+                None => {
+                    if ids.is_empty() {
+                        return None;
+                    }
+                    // Primary fits but a replica host is full: degrade the
+                    // replication factor rather than failing the mapping.
+                    break;
+                }
+            }
+        }
+        Some(ids)
+    }
+
+    /// Performs a remote read or write of the page at `page_offset`, issued
+    /// from CPU `core` at time `now`.
+    ///
+    /// Returns `None` only if the slab cannot be mapped (cluster full).
+    pub fn remote_io(
+        &mut self,
+        kind: RemoteIoKind,
+        page_offset: u64,
+        core: usize,
+        now: Nanos,
+    ) -> Option<RemoteIoResult> {
+        let machine = self.ensure_mapped(page_offset)?;
+        let transport = match kind {
+            RemoteIoKind::Read => {
+                self.reads += 1;
+                self.backend.read_latency(&mut self.rng)
+            }
+            RemoteIoKind::Write => {
+                self.writes += 1;
+                self.backend.write_latency(&mut self.rng)
+            }
+        };
+        let outcome = self.queues.dispatch(core, now, transport);
+        Some(RemoteIoResult {
+            machine,
+            queueing_delay: outcome.queueing_delay,
+            transport_latency: transport,
+            total: outcome.queueing_delay.saturating_add(transport),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leap_sim_core::units::PAGE_SIZE;
+
+    fn agent_with(cluster: RemoteCluster, replication: usize) -> HostAgent {
+        let config = HostAgentConfig {
+            replication,
+            ..HostAgentConfig::default()
+        };
+        HostAgent::new(config, cluster, DetRng::seed_from(99))
+    }
+
+    #[test]
+    fn mapping_is_sticky_per_slab() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(4, 16), 1);
+        let first = agent.ensure_mapped(0).unwrap();
+        let again = agent.ensure_mapped(1).unwrap();
+        assert_eq!(first, again, "pages in the same slab share a placement");
+        assert_eq!(agent.mapped_slabs(), 1);
+        // A page far away lands in a different slab.
+        let pages_per_slab = DEFAULT_SLAB_BYTES / PAGE_SIZE;
+        let _ = agent.ensure_mapped(pages_per_slab + 3).unwrap();
+        assert_eq!(agent.mapped_slabs(), 2);
+    }
+
+    #[test]
+    fn replication_places_multiple_copies() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(4, 16), 2);
+        let _ = agent.ensure_mapped(0).unwrap();
+        // Two machines must each host one slab copy.
+        let hosted: u64 = (0..4)
+            .map(|i| agent.cluster().machine(i).unwrap().hosted_slabs())
+            .sum();
+        assert_eq!(hosted, 2);
+    }
+
+    #[test]
+    fn power_of_two_choices_keeps_imbalance_low() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(8, 1_000), 1);
+        let pages_per_slab = DEFAULT_SLAB_BYTES / PAGE_SIZE;
+        for slab in 0..400u64 {
+            let _ = agent.ensure_mapped(slab * pages_per_slab).unwrap();
+        }
+        // With power of two choices, max-min load imbalance stays tiny
+        // compared to the ~50 slabs/machine average.
+        assert!(
+            agent.cluster().slab_imbalance() <= 10,
+            "imbalance {} too high",
+            agent.cluster().slab_imbalance()
+        );
+    }
+
+    #[test]
+    fn io_fails_when_cluster_is_full() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(1, 1), 1);
+        let pages_per_slab = DEFAULT_SLAB_BYTES / PAGE_SIZE;
+        assert!(agent
+            .remote_io(RemoteIoKind::Read, 0, 0, Nanos::ZERO)
+            .is_some());
+        assert!(agent
+            .remote_io(RemoteIoKind::Read, pages_per_slab, 0, Nanos::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn io_counts_and_latency_composition() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(2, 8), 1);
+        agent.set_backend(StorageBackend::constant(
+            BackendKind::Rdma,
+            Nanos::from_micros(4),
+        ));
+        let r = agent
+            .remote_io(RemoteIoKind::Read, 0, 0, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(r.transport_latency, Nanos::from_micros(4));
+        assert_eq!(r.total, r.queueing_delay + r.transport_latency);
+        let w = agent
+            .remote_io(RemoteIoKind::Write, 0, 0, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(w.transport_latency, Nanos::from_micros(4));
+        assert_eq!(agent.io_counts(), (1, 1));
+    }
+
+    #[test]
+    fn back_to_back_reads_on_one_core_queue_up() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(2, 8), 1);
+        agent.set_backend(StorageBackend::constant(
+            BackendKind::Rdma,
+            Nanos::from_micros(4),
+        ));
+        let first = agent
+            .remote_io(RemoteIoKind::Read, 0, 3, Nanos::ZERO)
+            .unwrap();
+        let second = agent
+            .remote_io(RemoteIoKind::Read, 1, 3, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(first.queueing_delay, Nanos::ZERO);
+        assert_eq!(second.queueing_delay, Nanos::from_micros(4));
+    }
+
+    #[test]
+    fn single_machine_cluster_works_without_replication_choice() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(1, 4), 2);
+        let r = agent.remote_io(RemoteIoKind::Read, 0, 0, Nanos::ZERO);
+        assert!(r.is_some());
+        // Replication degrades to one copy because there is only one machine.
+        assert_eq!(agent.cluster().machine(0).unwrap().hosted_slabs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication must be at least 1")]
+    fn zero_replication_rejected() {
+        let config = HostAgentConfig {
+            replication: 0,
+            ..HostAgentConfig::default()
+        };
+        let _ = HostAgent::new(
+            config,
+            RemoteCluster::homogeneous(1, 1),
+            DetRng::seed_from(0),
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Latency models for the storage and remote-memory backends.
+//!
+//! The paper's Figure 1 reports average 4 KB page access costs of roughly
+//! 91.5 µs for HDD, 20 µs for SSD, and 4.3 µs for an RDMA read over 56 Gbps
+//! InfiniBand. The samplers here are calibrated to those medians with
+//! realistic spreads: log-normal bodies (software + device variance) plus a
+//! small probability of much slower outliers (seek storms, SSD GC pauses,
+//! network congestion) so the tail behaviour in the latency CDFs is
+//! meaningful.
+
+use leap_sim_core::{
+    ConstantLatency, DetRng, LatencySampler, LogNormalLatency, MixtureLatency, Nanos,
+};
+use serde::{Deserialize, Serialize};
+
+/// The kind of slower-tier backing store a page lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// A spinning disk (average 4 KB access ≈ 91.5 µs).
+    Hdd,
+    /// A SATA/NVMe-class SSD (average 4 KB access ≈ 20 µs).
+    Ssd,
+    /// Remote DRAM over RDMA (average 4 KB op ≈ 4.3 µs).
+    Rdma,
+}
+
+impl BackendKind {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Hdd => "HDD",
+            BackendKind::Ssd => "SSD",
+            BackendKind::Rdma => "RDMA",
+        }
+    }
+
+    /// The nominal (median) 4 KB access latency from the paper's Figure 1.
+    pub fn nominal_latency(self) -> Nanos {
+        match self {
+            BackendKind::Hdd => Nanos::from_micros_f64(91.48),
+            BackendKind::Ssd => Nanos::from_micros_f64(20.0),
+            BackendKind::Rdma => Nanos::from_micros_f64(4.3),
+        }
+    }
+}
+
+/// A backing store with separate read and write latency distributions.
+#[derive(Debug)]
+pub struct StorageBackend {
+    kind: BackendKind,
+    read: Box<dyn LatencySampler>,
+    write: Box<dyn LatencySampler>,
+}
+
+impl StorageBackend {
+    /// Creates a backend with explicit read/write samplers.
+    pub fn with_samplers(
+        kind: BackendKind,
+        read: Box<dyn LatencySampler>,
+        write: Box<dyn LatencySampler>,
+    ) -> Self {
+        StorageBackend { kind, read, write }
+    }
+
+    /// Creates a backend of the given kind with the paper-calibrated
+    /// latency distribution.
+    pub fn new(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::Hdd => Self::hdd(),
+            BackendKind::Ssd => Self::ssd(),
+            BackendKind::Rdma => Self::rdma(),
+        }
+    }
+
+    /// A spinning-disk backend: ~91.5 µs median with multi-millisecond seek
+    /// outliers.
+    pub fn hdd() -> Self {
+        let body = || -> Box<dyn LatencySampler> {
+            Box::new(LogNormalLatency::new(
+                Nanos::from_micros_f64(91.48),
+                0.35,
+                Nanos::from_micros(40),
+            ))
+        };
+        let seek = || -> Box<dyn LatencySampler> {
+            Box::new(LogNormalLatency::new(
+                Nanos::from_millis_f64(4.5),
+                0.30,
+                Nanos::from_millis(1),
+            ))
+        };
+        StorageBackend {
+            kind: BackendKind::Hdd,
+            read: Box::new(MixtureLatency::new(vec![(0.97, body()), (0.03, seek())])),
+            write: Box::new(MixtureLatency::new(vec![(0.97, body()), (0.03, seek())])),
+        }
+    }
+
+    /// An SSD backend: ~20 µs median reads, slower writes, and rare
+    /// garbage-collection stalls.
+    pub fn ssd() -> Self {
+        let read_body = || -> Box<dyn LatencySampler> {
+            Box::new(LogNormalLatency::new(
+                Nanos::from_micros_f64(20.0),
+                0.25,
+                Nanos::from_micros(8),
+            ))
+        };
+        let write_body = || -> Box<dyn LatencySampler> {
+            Box::new(LogNormalLatency::new(
+                Nanos::from_micros_f64(30.0),
+                0.30,
+                Nanos::from_micros(10),
+            ))
+        };
+        let gc_stall = || -> Box<dyn LatencySampler> {
+            Box::new(LogNormalLatency::new(
+                Nanos::from_micros_f64(400.0),
+                0.50,
+                Nanos::from_micros(100),
+            ))
+        };
+        StorageBackend {
+            kind: BackendKind::Ssd,
+            read: Box::new(MixtureLatency::new(vec![
+                (0.995, read_body()),
+                (0.005, gc_stall()),
+            ])),
+            write: Box::new(MixtureLatency::new(vec![
+                (0.99, write_body()),
+                (0.01, gc_stall()),
+            ])),
+        }
+    }
+
+    /// A remote-DRAM-over-RDMA backend: ~4.3 µs median one-sided 4 KB reads
+    /// with a long congestion tail (the paper's §2.2 observation that single
+    /// µs latency is "often wishful thinking").
+    pub fn rdma() -> Self {
+        let body = || -> Box<dyn LatencySampler> {
+            Box::new(LogNormalLatency::new(
+                Nanos::from_micros_f64(4.3),
+                0.25,
+                Nanos::from_micros(2),
+            ))
+        };
+        let congestion = || -> Box<dyn LatencySampler> {
+            Box::new(LogNormalLatency::new(
+                Nanos::from_micros_f64(40.0),
+                0.40,
+                Nanos::from_micros(10),
+            ))
+        };
+        StorageBackend {
+            kind: BackendKind::Rdma,
+            read: Box::new(MixtureLatency::new(vec![
+                (0.99, body()),
+                (0.01, congestion()),
+            ])),
+            write: Box::new(MixtureLatency::new(vec![
+                (0.99, body()),
+                (0.01, congestion()),
+            ])),
+        }
+    }
+
+    /// A backend with deterministic, constant latency — useful for tests and
+    /// ablations that need exact arithmetic.
+    pub fn constant(kind: BackendKind, latency: Nanos) -> Self {
+        StorageBackend {
+            kind,
+            read: Box::new(ConstantLatency::new(latency)),
+            write: Box::new(ConstantLatency::new(latency)),
+        }
+    }
+
+    /// Which kind of device this is.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Samples the latency of a 4 KB read.
+    pub fn read_latency(&self, rng: &mut DetRng) -> Nanos {
+        self.read.sample(rng)
+    }
+
+    /// Samples the latency of a 4 KB write.
+    pub fn write_latency(&self, rng: &mut DetRng) -> Nanos {
+        self.write.sample(rng)
+    }
+
+    /// The nominal (median) read latency of this backend.
+    pub fn nominal_read_latency(&self) -> Nanos {
+        self.read.nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn median_read(backend: &StorageBackend, samples: usize) -> f64 {
+        let mut rng = DetRng::seed_from(42);
+        let mut values: Vec<u64> = (0..samples)
+            .map(|_| backend.read_latency(&mut rng).as_nanos())
+            .collect();
+        values.sort_unstable();
+        values[values.len() / 2] as f64
+    }
+
+    #[test]
+    fn labels_and_nominals() {
+        assert_eq!(BackendKind::Hdd.label(), "HDD");
+        assert_eq!(
+            BackendKind::Rdma.nominal_latency(),
+            Nanos::from_nanos(4_300)
+        );
+        assert_eq!(BackendKind::Ssd.nominal_latency(), Nanos::from_micros(20));
+    }
+
+    #[test]
+    fn medians_track_paper_figures() {
+        // Medians must land within 15 % of the paper's Figure 1 numbers.
+        let hdd = median_read(&StorageBackend::hdd(), 20_000);
+        assert!((hdd - 91_480.0).abs() / 91_480.0 < 0.15, "hdd median {hdd}");
+        let ssd = median_read(&StorageBackend::ssd(), 20_000);
+        assert!((ssd - 20_000.0).abs() / 20_000.0 < 0.15, "ssd median {ssd}");
+        let rdma = median_read(&StorageBackend::rdma(), 20_000);
+        assert!(
+            (rdma - 4_300.0).abs() / 4_300.0 < 0.15,
+            "rdma median {rdma}"
+        );
+    }
+
+    #[test]
+    fn latency_ordering_is_hdd_slowest_rdma_fastest() {
+        let hdd = median_read(&StorageBackend::hdd(), 5_000);
+        let ssd = median_read(&StorageBackend::ssd(), 5_000);
+        let rdma = median_read(&StorageBackend::rdma(), 5_000);
+        assert!(hdd > ssd && ssd > rdma);
+    }
+
+    #[test]
+    fn rdma_has_a_meaningful_tail() {
+        let backend = StorageBackend::rdma();
+        let mut rng = DetRng::seed_from(7);
+        let mut values: Vec<u64> = (0..50_000)
+            .map(|_| backend.read_latency(&mut rng).as_nanos())
+            .collect();
+        values.sort_unstable();
+        let median = values[values.len() / 2];
+        let p999 = values[(values.len() as f64 * 0.999) as usize];
+        assert!(
+            p999 > 4 * median,
+            "p999 {p999} vs median {median}: tail too light"
+        );
+    }
+
+    #[test]
+    fn constant_backend_is_deterministic() {
+        let backend = StorageBackend::constant(BackendKind::Rdma, Nanos::from_micros(5));
+        let mut rng = DetRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(backend.read_latency(&mut rng), Nanos::from_micros(5));
+            assert_eq!(backend.write_latency(&mut rng), Nanos::from_micros(5));
+        }
+    }
+
+    #[test]
+    fn new_dispatches_on_kind() {
+        assert_eq!(
+            StorageBackend::new(BackendKind::Hdd).kind(),
+            BackendKind::Hdd
+        );
+        assert_eq!(
+            StorageBackend::new(BackendKind::Ssd).kind(),
+            BackendKind::Ssd
+        );
+        assert_eq!(
+            StorageBackend::new(BackendKind::Rdma).kind(),
+            BackendKind::Rdma
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-core RDMA dispatch queues.
+//!
+//! Leap configures one RDMA dispatch queue per CPU core (§4.4, the
+//! multi-queue I/O model). Each queue serialises the requests staged on it;
+//! when a core issues requests faster than the NIC completes them, later
+//! requests wait behind earlier ones. The model tracks, per queue, the time
+//! at which the queue becomes idle and charges the difference as queueing
+//! delay.
+
+use leap_sim_core::Nanos;
+
+/// Per-core dispatch queues with queueing-delay accounting.
+///
+/// # Examples
+///
+/// ```
+/// use leap_remote::DispatchQueues;
+/// use leap_sim_core::Nanos;
+///
+/// let mut queues = DispatchQueues::new(2);
+/// // Two back-to-back requests on core 0, each taking 4 µs of service time.
+/// let first = queues.dispatch(0, Nanos::ZERO, Nanos::from_micros(4));
+/// let second = queues.dispatch(0, Nanos::ZERO, Nanos::from_micros(4));
+/// assert_eq!(first.queueing_delay, Nanos::ZERO);
+/// assert_eq!(second.queueing_delay, Nanos::from_micros(4));
+/// // A request on core 1 is unaffected: the queues are independent.
+/// let other = queues.dispatch(1, Nanos::ZERO, Nanos::from_micros(4));
+/// assert_eq!(other.queueing_delay, Nanos::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DispatchQueues {
+    /// Completion time of the last request staged on each queue.
+    busy_until: Vec<Nanos>,
+    /// Total requests dispatched per queue (for load reports).
+    dispatched: Vec<u64>,
+}
+
+/// The outcome of staging one request on a dispatch queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// Time spent waiting behind earlier requests on the same queue.
+    pub queueing_delay: Nanos,
+    /// Absolute time at which the request completes.
+    pub completes_at: Nanos,
+}
+
+impl DispatchQueues {
+    /// Creates `cores` independent dispatch queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "DispatchQueues needs at least one core");
+        DispatchQueues {
+            busy_until: vec![Nanos::ZERO; cores],
+            dispatched: vec![0; cores],
+        }
+    }
+
+    /// Number of queues (cores).
+    pub fn cores(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Stages a request issued by `core` at time `now` whose service
+    /// (transport + remote side) takes `service_time`.
+    ///
+    /// The core index is reduced modulo the number of queues, so callers can
+    /// pass a raw CPU id without worrying about the queue count.
+    pub fn dispatch(&mut self, core: usize, now: Nanos, service_time: Nanos) -> DispatchOutcome {
+        let idx = core % self.busy_until.len();
+        let start = self.busy_until[idx].max(now);
+        let queueing_delay = start.saturating_sub(now);
+        let completes_at = start.saturating_add(service_time);
+        self.busy_until[idx] = completes_at;
+        self.dispatched[idx] += 1;
+        DispatchOutcome {
+            queueing_delay,
+            completes_at,
+        }
+    }
+
+    /// Total requests dispatched on queue `core` so far.
+    pub fn dispatched_on(&self, core: usize) -> u64 {
+        self.dispatched[core % self.dispatched.len()]
+    }
+
+    /// Total requests dispatched across all queues.
+    pub fn total_dispatched(&self) -> u64 {
+        self.dispatched.iter().sum()
+    }
+
+    /// The instant at which queue `core` becomes idle.
+    pub fn idle_at(&self, core: usize) -> Nanos {
+        self.busy_until[core % self.busy_until.len()]
+    }
+
+    /// Clears all queue state.
+    pub fn reset(&mut self) {
+        for b in &mut self.busy_until {
+            *b = Nanos::ZERO;
+        }
+        for d in &mut self.dispatched {
+            *d = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn back_to_back_requests_queue_up() {
+        let mut q = DispatchQueues::new(1);
+        let a = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(10));
+        let b = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(10));
+        let c = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(10));
+        assert_eq!(a.queueing_delay, Nanos::ZERO);
+        assert_eq!(b.queueing_delay, Nanos::from_micros(10));
+        assert_eq!(c.queueing_delay, Nanos::from_micros(20));
+        assert_eq!(c.completes_at, Nanos::from_micros(30));
+    }
+
+    #[test]
+    fn idle_queue_has_no_delay() {
+        let mut q = DispatchQueues::new(1);
+        let a = q.dispatch(0, Nanos::from_micros(100), Nanos::from_micros(5));
+        assert_eq!(a.queueing_delay, Nanos::ZERO);
+        // Next request arrives after the previous one completed.
+        let b = q.dispatch(0, Nanos::from_micros(200), Nanos::from_micros(5));
+        assert_eq!(b.queueing_delay, Nanos::ZERO);
+        assert_eq!(b.completes_at, Nanos::from_micros(205));
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut q = DispatchQueues::new(4);
+        for _ in 0..10 {
+            let _ = q.dispatch(2, Nanos::ZERO, Nanos::from_micros(7));
+        }
+        let other = q.dispatch(3, Nanos::ZERO, Nanos::from_micros(7));
+        assert_eq!(other.queueing_delay, Nanos::ZERO);
+        assert_eq!(q.dispatched_on(2), 10);
+        assert_eq!(q.dispatched_on(3), 1);
+        assert_eq!(q.total_dispatched(), 11);
+    }
+
+    #[test]
+    fn core_index_wraps() {
+        let mut q = DispatchQueues::new(2);
+        let _ = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(3));
+        // Core 2 maps onto queue 0 and therefore queues behind it.
+        let wrapped = q.dispatch(2, Nanos::ZERO, Nanos::from_micros(3));
+        assert_eq!(wrapped.queueing_delay, Nanos::from_micros(3));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = DispatchQueues::new(1);
+        let _ = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(3));
+        q.reset();
+        assert_eq!(q.total_dispatched(), 0);
+        assert_eq!(q.idle_at(0), Nanos::ZERO);
+        let a = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(3));
+        assert_eq!(a.queueing_delay, Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = DispatchQueues::new(0);
+    }
+
+    proptest! {
+        /// Completion times on one queue are monotonically non-decreasing and
+        /// the queueing delay is exactly the gap to the previous completion.
+        #[test]
+        fn prop_single_queue_is_fifo(
+            requests in proptest::collection::vec((0u64..1_000_000, 1u64..100_000), 1..100),
+        ) {
+            let mut q = DispatchQueues::new(1);
+            let mut prev_completion = Nanos::ZERO;
+            let mut now = Nanos::ZERO;
+            for (gap, service) in requests {
+                now = now.saturating_add(Nanos::from_nanos(gap));
+                let out = q.dispatch(0, now, Nanos::from_nanos(service));
+                prop_assert!(out.completes_at >= prev_completion);
+                let expected_start = prev_completion.max(now);
+                prop_assert_eq!(out.queueing_delay, expected_start.saturating_sub(now));
+                prop_assert_eq!(out.completes_at, expected_start.saturating_add(Nanos::from_nanos(service)));
+                prev_completion = out.completes_at;
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Remote-memory substrate for the Leap reproduction.
+//!
+//! The paper's testbed exposes remote DRAM over 56 Gbps InfiniBand through a
+//! host agent that maps fixed-size memory slabs onto one or more remote
+//! machines (§4.4–4.5). This crate models that stack, plus the slower local
+//! storage devices (HDD, SSD) used as baselines:
+//!
+//! - [`backend`]: latency models for HDD, SSD, and RDMA 4 KB page transfers,
+//!   calibrated to the stage costs the paper reports in Figure 1.
+//! - [`slab`]: fixed-size remote memory slabs and the remote machines that
+//!   host them.
+//! - [`agent`]: the host agent — slab placement with the power of two
+//!   choices, optional replication, and address translation from swap-slot
+//!   offsets to `(machine, slab)` locations.
+//! - [`dispatch`]: per-core RDMA dispatch queues with queueing-delay
+//!   accounting.
+
+pub mod agent;
+pub mod backend;
+pub mod dispatch;
+pub mod slab;
+
+pub use agent::{HostAgent, HostAgentConfig, RemoteIoKind, RemoteIoResult};
+pub use backend::{BackendKind, StorageBackend};
+pub use dispatch::DispatchQueues;
+pub use slab::{RemoteCluster, RemoteMachine, SlabId, SlabMap, DEFAULT_SLAB_BYTES};

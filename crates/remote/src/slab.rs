@@ -1,0 +1,290 @@
+//! Remote memory slabs and the machines that host them.
+//!
+//! The host agent divides its remote memory footprint into fixed-size slabs
+//! and maps each slab onto one (or, with replication, several) remote
+//! machines (§4.4). Slab granularity keeps the mapping table small and lets
+//! the agent balance load machine-by-machine.
+
+use leap_sim_core::units::{GIB, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Default slab size (1 GB, as used by Infiniswap-style systems).
+pub const DEFAULT_SLAB_BYTES: u64 = GIB;
+
+/// Identifier of a slab within one host's remote address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlabId(pub u64);
+
+/// Identifier of a remote machine in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub u32);
+
+/// A remote machine donating memory to the cluster pool.
+#[derive(Debug, Clone)]
+pub struct RemoteMachine {
+    id: MachineId,
+    capacity_slabs: u64,
+    hosted_slabs: u64,
+}
+
+impl RemoteMachine {
+    /// Creates a machine able to host `capacity_slabs` slabs.
+    pub fn new(id: MachineId, capacity_slabs: u64) -> Self {
+        RemoteMachine {
+            id,
+            capacity_slabs,
+            hosted_slabs: 0,
+        }
+    }
+
+    /// The machine's identifier.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Number of slabs this machine can host in total.
+    pub fn capacity_slabs(&self) -> u64 {
+        self.capacity_slabs
+    }
+
+    /// Number of slabs currently hosted.
+    pub fn hosted_slabs(&self) -> u64 {
+        self.hosted_slabs
+    }
+
+    /// Remaining slab capacity.
+    pub fn free_slabs(&self) -> u64 {
+        self.capacity_slabs - self.hosted_slabs
+    }
+
+    /// True if the machine cannot take another slab.
+    pub fn is_full(&self) -> bool {
+        self.hosted_slabs >= self.capacity_slabs
+    }
+
+    fn host_one(&mut self) {
+        debug_assert!(!self.is_full());
+        self.hosted_slabs += 1;
+    }
+}
+
+/// The set of remote machines available to a host agent.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteCluster {
+    machines: Vec<RemoteMachine>,
+}
+
+impl RemoteCluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        RemoteCluster::default()
+    }
+
+    /// Creates a cluster of `n` identical machines, each able to host
+    /// `slabs_per_machine` slabs.
+    pub fn homogeneous(n: u32, slabs_per_machine: u64) -> Self {
+        let machines = (0..n)
+            .map(|i| RemoteMachine::new(MachineId(i), slabs_per_machine))
+            .collect();
+        RemoteCluster { machines }
+    }
+
+    /// Adds one machine to the cluster.
+    pub fn add_machine(&mut self, machine: RemoteMachine) {
+        self.machines.push(machine);
+    }
+
+    /// Number of machines in the cluster.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True if the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Total free slab capacity across all machines.
+    pub fn total_free_slabs(&self) -> u64 {
+        self.machines.iter().map(|m| m.free_slabs()).sum()
+    }
+
+    /// Returns the machine with the given index (not id).
+    pub fn machine(&self, index: usize) -> Option<&RemoteMachine> {
+        self.machines.get(index)
+    }
+
+    /// Marks `index` as hosting one more slab.
+    ///
+    /// Returns the machine's id, or `None` if the index is out of range or
+    /// the machine is full.
+    pub fn host_slab_on(&mut self, index: usize) -> Option<MachineId> {
+        let machine = self.machines.get_mut(index)?;
+        if machine.is_full() {
+            return None;
+        }
+        machine.host_one();
+        Some(machine.id())
+    }
+
+    /// The maximum difference in hosted slabs between any two machines —
+    /// the imbalance metric the power of two choices keeps small.
+    pub fn slab_imbalance(&self) -> u64 {
+        let max = self
+            .machines
+            .iter()
+            .map(|m| m.hosted_slabs())
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .machines
+            .iter()
+            .map(|m| m.hosted_slabs())
+            .min()
+            .unwrap_or(0);
+        max - min
+    }
+}
+
+/// The mapping from a host's slabs to the remote machines hosting them.
+#[derive(Debug, Clone, Default)]
+pub struct SlabMap {
+    slab_bytes: u64,
+    placements: HashMap<SlabId, Vec<MachineId>>,
+}
+
+impl SlabMap {
+    /// Creates an empty map with the given slab size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slab_bytes` is smaller than one page.
+    pub fn new(slab_bytes: u64) -> Self {
+        assert!(slab_bytes >= PAGE_SIZE, "slab must hold at least one page");
+        SlabMap {
+            slab_bytes,
+            placements: HashMap::new(),
+        }
+    }
+
+    /// The slab size in bytes.
+    pub fn slab_bytes(&self) -> u64 {
+        self.slab_bytes
+    }
+
+    /// Number of pages per slab.
+    pub fn pages_per_slab(&self) -> u64 {
+        self.slab_bytes / PAGE_SIZE
+    }
+
+    /// The slab that holds the given page offset (in pages).
+    pub fn slab_of_page(&self, page_offset: u64) -> SlabId {
+        SlabId(page_offset / self.pages_per_slab())
+    }
+
+    /// Records the placement (primary + replicas) of a slab.
+    pub fn place(&mut self, slab: SlabId, machines: Vec<MachineId>) {
+        self.placements.insert(slab, machines);
+    }
+
+    /// Returns the machines hosting a slab (primary first), if mapped.
+    pub fn machines_of(&self, slab: SlabId) -> Option<&[MachineId]> {
+        self.placements.get(&slab).map(|v| v.as_slice())
+    }
+
+    /// True if the slab has been mapped already.
+    pub fn is_mapped(&self, slab: SlabId) -> bool {
+        self.placements.contains_key(&slab)
+    }
+
+    /// Number of mapped slabs.
+    pub fn mapped_slabs(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn machine_capacity_accounting() {
+        let mut cluster = RemoteCluster::homogeneous(2, 3);
+        assert_eq!(cluster.total_free_slabs(), 6);
+        assert!(cluster.host_slab_on(0).is_some());
+        assert!(cluster.host_slab_on(0).is_some());
+        assert!(cluster.host_slab_on(0).is_some());
+        assert!(cluster.host_slab_on(0).is_none(), "machine 0 is full");
+        assert_eq!(cluster.total_free_slabs(), 3);
+        assert_eq!(cluster.machine(0).unwrap().free_slabs(), 0);
+        assert!(cluster.machine(0).unwrap().is_full());
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut cluster = RemoteCluster::homogeneous(3, 10);
+        assert_eq!(cluster.slab_imbalance(), 0);
+        cluster.host_slab_on(0);
+        cluster.host_slab_on(0);
+        cluster.host_slab_on(1);
+        assert_eq!(cluster.slab_imbalance(), 2);
+    }
+
+    #[test]
+    fn slab_of_page_uses_slab_geometry() {
+        let map = SlabMap::new(DEFAULT_SLAB_BYTES);
+        let pages_per_slab = DEFAULT_SLAB_BYTES / PAGE_SIZE;
+        assert_eq!(map.pages_per_slab(), pages_per_slab);
+        assert_eq!(map.slab_of_page(0), SlabId(0));
+        assert_eq!(map.slab_of_page(pages_per_slab - 1), SlabId(0));
+        assert_eq!(map.slab_of_page(pages_per_slab), SlabId(1));
+        assert_eq!(map.slab_of_page(10 * pages_per_slab + 5), SlabId(10));
+    }
+
+    #[test]
+    fn placements_round_trip() {
+        let mut map = SlabMap::new(DEFAULT_SLAB_BYTES);
+        assert!(!map.is_mapped(SlabId(3)));
+        map.place(SlabId(3), vec![MachineId(1), MachineId(2)]);
+        assert!(map.is_mapped(SlabId(3)));
+        assert_eq!(
+            map.machines_of(SlabId(3)),
+            Some(&[MachineId(1), MachineId(2)][..])
+        );
+        assert_eq!(map.mapped_slabs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn tiny_slab_rejected() {
+        let _ = SlabMap::new(PAGE_SIZE - 1);
+    }
+
+    proptest! {
+        /// Page → slab mapping is monotone and consistent with slab geometry.
+        #[test]
+        fn prop_slab_of_page_consistent(page in 0u64..10_000_000, slab_pages in 1u64..100_000) {
+            let map = SlabMap::new(slab_pages * PAGE_SIZE);
+            let slab = map.slab_of_page(page);
+            prop_assert_eq!(slab.0, page / slab_pages);
+        }
+
+        /// Hosting never exceeds any machine's capacity.
+        #[test]
+        fn prop_hosting_respects_capacity(
+            capacity in 1u64..8,
+            attempts in 1usize..64,
+        ) {
+            let mut cluster = RemoteCluster::homogeneous(2, capacity);
+            let mut hosted = 0u64;
+            for i in 0..attempts {
+                if cluster.host_slab_on(i % 2).is_some() {
+                    hosted += 1;
+                }
+            }
+            prop_assert!(hosted <= 2 * capacity);
+            prop_assert_eq!(cluster.total_free_slabs(), 2 * capacity - hosted);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A monotonically advancing simulation clock.
+
+use crate::time::Nanos;
+
+/// The simulated clock shared by a single experiment run.
+///
+/// The clock only moves forward. Components charge time to it by calling
+/// [`SimClock::advance`] with the latency they modelled; readers observe the
+/// current instant with [`SimClock::now`].
+///
+/// # Examples
+///
+/// ```
+/// use leap_sim_core::{Nanos, SimClock};
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(Nanos::from_micros(4));
+/// assert_eq!(clock.now(), Nanos::from_micros(4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Nanos,
+}
+
+impl SimClock {
+    /// Creates a clock at t = 0.
+    pub fn new() -> Self {
+        SimClock { now: Nanos::ZERO }
+    }
+
+    /// Creates a clock starting at an arbitrary instant.
+    pub fn starting_at(start: Nanos) -> Self {
+        SimClock { now: start }
+    }
+
+    /// Returns the current simulated instant.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by `delta` and returns the new instant.
+    pub fn advance(&mut self, delta: Nanos) -> Nanos {
+        self.now = self.now.saturating_add(delta);
+        self.now
+    }
+
+    /// Moves the clock to `instant` if it is in the future; otherwise leaves
+    /// the clock untouched. Returns the (possibly unchanged) current instant.
+    ///
+    /// This is used when a caller has computed an absolute completion time
+    /// (e.g. an asynchronous RDMA read finishing) and wants the clock to
+    /// reflect it without ever going backwards.
+    pub fn advance_to(&mut self, instant: Nanos) -> Nanos {
+        if instant > self.now {
+            self.now = instant;
+        }
+        self.now
+    }
+
+    /// Returns the elapsed time since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    pub fn since(&self, earlier: Nanos) -> Nanos {
+        self.now.saturating_sub(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut clock = SimClock::new();
+        clock.advance(Nanos::from_micros(3));
+        clock.advance(Nanos::from_micros(7));
+        assert_eq!(clock.now(), Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut clock = SimClock::starting_at(Nanos::from_micros(100));
+        clock.advance_to(Nanos::from_micros(50));
+        assert_eq!(clock.now(), Nanos::from_micros(100));
+        clock.advance_to(Nanos::from_micros(150));
+        assert_eq!(clock.now(), Nanos::from_micros(150));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let clock = SimClock::starting_at(Nanos::from_micros(10));
+        assert_eq!(clock.since(Nanos::from_micros(4)), Nanos::from_micros(6));
+        assert_eq!(clock.since(Nanos::from_micros(40)), Nanos::ZERO);
+    }
+}

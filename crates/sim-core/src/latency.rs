@@ -1,0 +1,349 @@
+//! Latency samplers used to model device and software-stage costs.
+//!
+//! Every stage in the simulated data path (page-cache lookup, block-layer
+//! batching, RDMA read, SSD access, ...) is parameterised by a
+//! [`LatencySampler`]. Samplers are deterministic given a [`DetRng`] stream,
+//! so whole experiments replay identically across runs.
+
+use crate::rng::DetRng;
+use crate::time::Nanos;
+
+/// A source of latency samples.
+///
+/// Implementations must be cheap (O(1)) and must only draw randomness from
+/// the provided [`DetRng`] so that the simulation stays deterministic.
+pub trait LatencySampler: Send + Sync + std::fmt::Debug {
+    /// Draws one latency sample.
+    fn sample(&self, rng: &mut DetRng) -> Nanos;
+
+    /// Returns the nominal (median/typical) latency of this sampler, used by
+    /// reports and sanity checks.
+    fn nominal(&self) -> Nanos;
+}
+
+/// A latency that is always the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLatency {
+    value: Nanos,
+}
+
+impl ConstantLatency {
+    /// Creates a constant sampler.
+    pub fn new(value: Nanos) -> Self {
+        ConstantLatency { value }
+    }
+}
+
+impl LatencySampler for ConstantLatency {
+    fn sample(&self, _rng: &mut DetRng) -> Nanos {
+        self.value
+    }
+
+    fn nominal(&self) -> Nanos {
+        self.value
+    }
+}
+
+/// A latency sampled uniformly from `[low, high]`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLatency {
+    low: Nanos,
+    high: Nanos,
+}
+
+impl UniformLatency {
+    /// Creates a uniform sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new(low: Nanos, high: Nanos) -> Self {
+        assert!(low <= high, "UniformLatency requires low <= high");
+        UniformLatency { low, high }
+    }
+}
+
+impl LatencySampler for UniformLatency {
+    fn sample(&self, rng: &mut DetRng) -> Nanos {
+        if self.low == self.high {
+            return self.low;
+        }
+        Nanos::from_nanos(rng.gen_range_u64(self.low.as_nanos(), self.high.as_nanos() + 1))
+    }
+
+    fn nominal(&self) -> Nanos {
+        Nanos::from_nanos((self.low.as_nanos() + self.high.as_nanos()) / 2)
+    }
+}
+
+/// A latency sampled from a (truncated) normal distribution.
+///
+/// Samples below `floor` are clamped; device latencies can never be negative
+/// or smaller than a minimum service time.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalLatency {
+    mean: Nanos,
+    std_dev: Nanos,
+    floor: Nanos,
+}
+
+impl NormalLatency {
+    /// Creates a normal sampler with the given mean and standard deviation,
+    /// clamped below at `floor`.
+    pub fn new(mean: Nanos, std_dev: Nanos, floor: Nanos) -> Self {
+        NormalLatency {
+            mean,
+            std_dev,
+            floor,
+        }
+    }
+}
+
+impl LatencySampler for NormalLatency {
+    fn sample(&self, rng: &mut DetRng) -> Nanos {
+        let z = rng.standard_normal();
+        let v = self.mean.as_nanos() as f64 + z * self.std_dev.as_nanos() as f64;
+        let v = v.max(self.floor.as_nanos() as f64);
+        Nanos::from_nanos(v.round() as u64)
+    }
+
+    fn nominal(&self) -> Nanos {
+        self.mean
+    }
+}
+
+/// A latency sampled from a log-normal distribution.
+///
+/// Log-normal captures the long right tail of RDMA operations and software
+/// queueing observed in the paper (medians of a few µs with rare 10–100×
+/// outliers). The sampler is parameterised by the *median* and a multiplicative
+/// spread `sigma` (the standard deviation of the underlying normal in log
+/// space).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormalLatency {
+    median: Nanos,
+    sigma: f64,
+    floor: Nanos,
+}
+
+impl LogNormalLatency {
+    /// Creates a log-normal sampler with the given median, log-space sigma,
+    /// and lower clamp.
+    pub fn new(median: Nanos, sigma: f64, floor: Nanos) -> Self {
+        LogNormalLatency {
+            median,
+            sigma,
+            floor,
+        }
+    }
+}
+
+impl LatencySampler for LogNormalLatency {
+    fn sample(&self, rng: &mut DetRng) -> Nanos {
+        let z = rng.standard_normal();
+        let v = self.median.as_nanos() as f64 * (self.sigma * z).exp();
+        let v = v.max(self.floor.as_nanos() as f64);
+        // Clamp the astronomically unlikely overflow case.
+        let v = v.min(u64::MAX as f64 / 2.0);
+        Nanos::from_nanos(v.round() as u64)
+    }
+
+    fn nominal(&self) -> Nanos {
+        self.median
+    }
+}
+
+/// A mixture of samplers with associated weights.
+///
+/// Used, for example, to model an SSD with a fast read path plus occasional
+/// garbage-collection stalls, or a network with rare congestion events.
+#[derive(Debug)]
+pub struct MixtureLatency {
+    components: Vec<(f64, Box<dyn LatencySampler>)>,
+    total_weight: f64,
+}
+
+impl MixtureLatency {
+    /// Creates a mixture from `(weight, sampler)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or all weights are non-positive.
+    pub fn new(components: Vec<(f64, Box<dyn LatencySampler>)>) -> Self {
+        assert!(!components.is_empty(), "MixtureLatency needs components");
+        let total_weight: f64 = components.iter().map(|(w, _)| w.max(0.0)).sum();
+        assert!(total_weight > 0.0, "MixtureLatency needs positive weight");
+        MixtureLatency {
+            components,
+            total_weight,
+        }
+    }
+}
+
+impl LatencySampler for MixtureLatency {
+    fn sample(&self, rng: &mut DetRng) -> Nanos {
+        let mut pick = rng.next_f64() * self.total_weight;
+        for (w, sampler) in &self.components {
+            let w = w.max(0.0);
+            if pick < w {
+                return sampler.sample(rng);
+            }
+            pick -= w;
+        }
+        // Floating point slack: fall back to the last component.
+        self.components
+            .last()
+            .expect("mixture has at least one component")
+            .1
+            .sample(rng)
+    }
+
+    fn nominal(&self) -> Nanos {
+        // Weighted average of component nominals.
+        let weighted: f64 = self
+            .components
+            .iter()
+            .map(|(w, s)| w.max(0.0) * s.nominal().as_nanos() as f64)
+            .sum();
+        Nanos::from_nanos((weighted / self.total_weight).round() as u64)
+    }
+}
+
+/// A latency sampler that replays an empirical set of values.
+///
+/// Useful for tests and for plugging real measurement distributions into the
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct EmpiricalLatency {
+    values: Vec<Nanos>,
+}
+
+impl EmpiricalLatency {
+    /// Creates an empirical sampler from observed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(mut values: Vec<Nanos>) -> Self {
+        assert!(!values.is_empty(), "EmpiricalLatency needs values");
+        values.sort_unstable();
+        EmpiricalLatency { values }
+    }
+}
+
+impl LatencySampler for EmpiricalLatency {
+    fn sample(&self, rng: &mut DetRng) -> Nanos {
+        let idx = rng.gen_range_usize(0, self.values.len());
+        self.values[idx]
+    }
+
+    fn nominal(&self) -> Nanos {
+        self.values[self.values.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from(0xC0FFEE)
+    }
+
+    #[test]
+    fn constant_always_returns_value() {
+        let s = ConstantLatency::new(Nanos::from_micros(5));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut r), Nanos::from_micros(5));
+        }
+        assert_eq!(s.nominal(), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let s = UniformLatency::new(Nanos::from_nanos(100), Nanos::from_nanos(200));
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = s.sample(&mut r);
+            assert!(v >= Nanos::from_nanos(100) && v <= Nanos::from_nanos(200));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let s = UniformLatency::new(Nanos::from_nanos(50), Nanos::from_nanos(50));
+        let mut r = rng();
+        assert_eq!(s.sample(&mut r), Nanos::from_nanos(50));
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let s = NormalLatency::new(
+            Nanos::from_nanos(100),
+            Nanos::from_nanos(500),
+            Nanos::from_nanos(80),
+        );
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(s.sample(&mut r) >= Nanos::from_nanos(80));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let s = LogNormalLatency::new(Nanos::from_micros_f64(4.3), 0.4, Nanos::from_nanos(500));
+        let mut r = rng();
+        let mut samples: Vec<u64> = (0..20_000).map(|_| s.sample(&mut r).as_nanos()).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        assert!(
+            (median - 4_300.0).abs() / 4_300.0 < 0.05,
+            "median {median} too far from 4300"
+        );
+        // Tail should be meaningfully above the median.
+        let p99 = samples[(samples.len() as f64 * 0.99) as usize] as f64;
+        assert!(p99 > 1.5 * median, "p99 {p99} not heavy enough");
+    }
+
+    #[test]
+    fn mixture_samples_all_components() {
+        let s = MixtureLatency::new(vec![
+            (0.5, Box::new(ConstantLatency::new(Nanos::from_nanos(10)))),
+            (0.5, Box::new(ConstantLatency::new(Nanos::from_nanos(1000)))),
+        ]);
+        let mut r = rng();
+        let mut saw_fast = false;
+        let mut saw_slow = false;
+        for _ in 0..1000 {
+            match s.sample(&mut r).as_nanos() {
+                10 => saw_fast = true,
+                1000 => saw_slow = true,
+                other => panic!("unexpected sample {other}"),
+            }
+        }
+        assert!(saw_fast && saw_slow);
+        assert_eq!(s.nominal(), Nanos::from_nanos(505));
+    }
+
+    #[test]
+    fn empirical_replays_observed_values() {
+        let values = vec![
+            Nanos::from_nanos(5),
+            Nanos::from_nanos(7),
+            Nanos::from_nanos(9),
+        ];
+        let s = EmpiricalLatency::new(values.clone());
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(values.contains(&s.sample(&mut r)));
+        }
+        assert_eq!(s.nominal(), Nanos::from_nanos(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "low <= high")]
+    fn uniform_rejects_inverted_range() {
+        let _ = UniformLatency::new(Nanos::from_nanos(10), Nanos::from_nanos(5));
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulation substrate for the Leap reproduction.
+//!
+//! The original Leap system is a Linux-kernel data path measured on a real
+//! InfiniBand testbed. This crate provides the deterministic simulation
+//! primitives every other crate in the workspace builds on:
+//!
+//! - [`time`]: nanosecond-resolution simulated time ([`Nanos`]) and helpers.
+//! - [`clock`]: a monotonically advancing simulation clock ([`SimClock`]).
+//! - [`rng`]: a small, seedable, deterministic random number generator
+//!   ([`DetRng`]) so that every experiment is reproducible bit-for-bit.
+//! - [`latency`]: latency samplers ([`LatencySampler`]) used to model device
+//!   and software-stage costs (constant, uniform, normal, log-normal and
+//!   empirical mixtures with heavy tails).
+//! - [`units`]: byte-size constants and page geometry shared by all crates.
+//!
+//! Everything is `std`-only and allocation-light; the hot paths (sampling a
+//! latency, advancing the clock) are O(1).
+
+pub mod clock;
+pub mod latency;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use clock::SimClock;
+pub use latency::{
+    ConstantLatency, EmpiricalLatency, LatencySampler, LogNormalLatency, MixtureLatency,
+    NormalLatency, UniformLatency,
+};
+pub use rng::DetRng;
+pub use time::Nanos;
+pub use units::{GIB, KIB, MIB, PAGE_SHIFT, PAGE_SIZE};

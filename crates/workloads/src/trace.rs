@@ -1,0 +1,167 @@
+//! Access traces: the page-granularity input every experiment replays.
+
+use leap_sim_core::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// One memory access at page granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// The virtual page touched.
+    pub page: u64,
+    /// Whether the access writes the page (dirties it).
+    pub is_write: bool,
+    /// CPU time the application spends on this access before the next one
+    /// (the compute component of completion time).
+    pub compute: Nanos,
+}
+
+impl Access {
+    /// A read access with the given compute cost.
+    pub fn read(page: u64, compute: Nanos) -> Self {
+        Access {
+            page,
+            is_write: false,
+            compute,
+        }
+    }
+
+    /// A write access with the given compute cost.
+    pub fn write(page: u64, compute: Nanos) -> Self {
+        Access {
+            page,
+            is_write: true,
+            compute,
+        }
+    }
+}
+
+/// A named sequence of page accesses produced by a workload generator.
+///
+/// # Examples
+///
+/// ```
+/// use leap_workloads::{Access, AccessTrace};
+/// use leap_sim_core::Nanos;
+///
+/// let trace = AccessTrace::new(
+///     "tiny",
+///     vec![Access::read(0, Nanos::ZERO), Access::read(1, Nanos::ZERO)],
+/// );
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.working_set_pages(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    name: String,
+    accesses: Vec<Access>,
+}
+
+impl AccessTrace {
+    /// Creates a trace from a name and accesses.
+    pub fn new<S: Into<String>>(name: S, accesses: Vec<Access>) -> Self {
+        AccessTrace {
+            name: name.into(),
+            accesses,
+        }
+    }
+
+    /// The trace's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The accesses, in order.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Iterates over the accesses.
+    pub fn iter(&self) -> impl Iterator<Item = &Access> {
+        self.accesses.iter()
+    }
+
+    /// Number of distinct pages touched (the working set, in pages).
+    pub fn working_set_pages(&self) -> u64 {
+        let mut pages: Vec<u64> = self.accesses.iter().map(|a| a.page).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.len() as u64
+    }
+
+    /// Total compute time of the trace (the paging-free lower bound on
+    /// completion time).
+    pub fn total_compute(&self) -> Nanos {
+        self.accesses.iter().map(|a| a.compute).sum()
+    }
+
+    /// Returns the page-number sequence (used by the pattern classifier and
+    /// by prefetcher-only experiments).
+    pub fn page_sequence(&self) -> Vec<u64> {
+        self.accesses.iter().map(|a| a.page).collect()
+    }
+
+    /// Truncates the trace to at most `n` accesses (cheap way to produce
+    /// scaled-down experiment variants).
+    pub fn truncated(&self, n: usize) -> AccessTrace {
+        AccessTrace {
+            name: self.name.clone(),
+            accesses: self.accesses.iter().take(n).copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_counts_distinct_pages() {
+        let t = AccessTrace::new(
+            "t",
+            vec![
+                Access::read(1, Nanos::ZERO),
+                Access::read(2, Nanos::ZERO),
+                Access::write(1, Nanos::ZERO),
+            ],
+        );
+        assert_eq!(t.working_set_pages(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn total_compute_sums() {
+        let t = AccessTrace::new(
+            "t",
+            vec![
+                Access::read(0, Nanos::from_micros(2)),
+                Access::read(1, Nanos::from_micros(3)),
+            ],
+        );
+        assert_eq!(t.total_compute(), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let t = AccessTrace::new("t", (0..10).map(|i| Access::read(i, Nanos::ZERO)).collect());
+        let short = t.truncated(3);
+        assert_eq!(short.len(), 3);
+        assert_eq!(short.page_sequence(), vec![0, 1, 2]);
+        assert_eq!(short.name(), "t");
+    }
+
+    #[test]
+    fn read_write_constructors() {
+        assert!(!Access::read(5, Nanos::ZERO).is_write);
+        assert!(Access::write(5, Nanos::ZERO).is_write);
+    }
+}

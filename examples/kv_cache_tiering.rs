@@ -1,0 +1,81 @@
+//! Key-value cache tiering scenario: a Memcached-style service and a
+//! VoltDB-style OLTP store paging to remote memory.
+//!
+//! Latency-sensitive services are the hardest case for remote memory: their
+//! access patterns are mostly irregular, so the win has to come from the lean
+//! data path and from *not* polluting the cache (§5.3.3–5.3.4). This example
+//! reports throughput at different memory limits and shows the effect of
+//! constraining the prefetch cache (the Figure 12 view).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example kv_cache_tiering
+//! ```
+
+use leap_repro::leap_metrics::TextTable;
+use leap_repro::prelude::*;
+
+fn throughput(kind: AppKind, config: SimConfig, accesses: usize) -> f64 {
+    let trace = AppModel::new(kind, 99).with_accesses(accesses).generate();
+    let result = VmmSimulator::new(config).run_prepopulated(&trace);
+    result.throughput_ops_per_sec()
+}
+
+fn main() {
+    let accesses = 80_000;
+
+    // Throughput vs memory limit (Figure 11c/11d flavour).
+    for kind in [AppKind::VoltDb, AppKind::Memcached] {
+        let mut table = TextTable::new(vec![
+            "memory limit",
+            "D-VMM (ops/s)",
+            "D-VMM+Leap (ops/s)",
+            "improvement",
+        ])
+        .with_title(format!("{kind} throughput under remote paging"));
+        for fraction in [1.0, 0.5, 0.25] {
+            let dvmm = throughput(
+                kind,
+                SimConfig::linux_defaults().with_memory_fraction(fraction),
+                accesses,
+            );
+            let leap = throughput(
+                kind,
+                SimConfig::leap_defaults().with_memory_fraction(fraction),
+                accesses,
+            );
+            table.add_row(vec![
+                format!("{:.0}%", fraction * 100.0),
+                format!("{:.0}", dvmm),
+                format!("{:.0}", leap),
+                format!("{:.2}x", leap / dvmm.max(1.0)),
+            ]);
+        }
+        println!("{table}");
+    }
+
+    // Constrained prefetch-cache sweep at 50 % memory (Figure 12 flavour).
+    let mut cache_table = TextTable::new(vec![
+        "prefetch cache",
+        "VoltDB (ops/s)",
+        "Memcached (ops/s)",
+    ])
+    .with_title("Leap throughput with a constrained prefetch cache (50% memory)");
+    for (label, pages) in [
+        ("unlimited", u64::MAX),
+        ("320 MB", 320 * 256),
+        ("32 MB", 32 * 256),
+        ("3.2 MB", 819),
+    ] {
+        let config = SimConfig::leap_defaults()
+            .with_memory_fraction(0.5)
+            .with_prefetch_cache_pages(pages);
+        cache_table.add_row(vec![
+            label.to_string(),
+            format!("{:.0}", throughput(AppKind::VoltDb, config, accesses)),
+            format!("{:.0}", throughput(AppKind::Memcached, config, accesses)),
+        ]);
+    }
+    println!("{cache_table}");
+}

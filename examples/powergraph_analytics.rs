@@ -1,0 +1,86 @@
+//! Graph-analytics scenario: a PowerGraph-style application whose working
+//! set does not fit in local memory.
+//!
+//! This reproduces the flavour of the paper's §5.3.1 experiment: the same
+//! graph-processing access trace is replayed against paging to a local disk,
+//! the default disaggregated-VMM path, and the Leap path, at 100 %, 50 %, and
+//! 25 % local memory. It also compares the four prefetching algorithms in
+//! isolation (the Figure 9/10 view).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example powergraph_analytics
+//! ```
+
+use leap_repro::leap_metrics::TextTable;
+use leap_repro::prelude::*;
+
+fn main() {
+    let trace = AppModel::new(AppKind::PowerGraph, 42)
+        .with_accesses(120_000)
+        .generate();
+    println!(
+        "PowerGraph-style trace: {} accesses over {} pages (~{} MiB working set)\n",
+        trace.len(),
+        trace.working_set_pages(),
+        trace.working_set_pages() * 4 / 1024
+    );
+
+    // Completion time across memory limits and configurations (Figure 11a).
+    let mut table = TextTable::new(vec![
+        "memory limit",
+        "Disk (s)",
+        "D-VMM (s)",
+        "D-VMM+Leap (s)",
+        "Leap speedup vs D-VMM",
+    ])
+    .with_title("PowerGraph completion time");
+    for fraction in [1.0, 0.5, 0.25] {
+        let disk = VmmSimulator::new(
+            SimConfig::disk_defaults(BackendKind::Ssd).with_memory_fraction(fraction),
+        )
+        .run_prepopulated(&trace);
+        let dvmm = VmmSimulator::new(SimConfig::linux_defaults().with_memory_fraction(fraction))
+            .run_prepopulated(&trace);
+        let leap = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(fraction))
+            .run_prepopulated(&trace);
+        table.add_row(vec![
+            format!("{:.0}%", fraction * 100.0),
+            format!("{:.3}", disk.completion_seconds()),
+            format!("{:.3}", dvmm.completion_seconds()),
+            format!("{:.3}", leap.completion_seconds()),
+            format!(
+                "{:.2}x",
+                dvmm.completion_seconds() / leap.completion_seconds().max(1e-9)
+            ),
+        ]);
+    }
+    println!("{table}");
+
+    // Prefetcher comparison at 50 % memory (Figures 9 and 10).
+    let mut prefetch_table = TextTable::new(vec![
+        "prefetcher",
+        "cache adds",
+        "cache misses",
+        "accuracy",
+        "coverage",
+        "completion (s)",
+    ])
+    .with_title("Prefetcher comparison on the PowerGraph trace (50% memory, Leap data path)");
+    for kind in PrefetcherKind::EVALUATED {
+        let config = SimConfig::leap_defaults()
+            .with_memory_fraction(0.5)
+            .with_prefetcher(kind);
+        let result = VmmSimulator::new(config).run_prepopulated(&trace);
+        prefetch_table.add_row(vec![
+            kind.label().to_string(),
+            result.cache_stats.cache_adds().to_string(),
+            result.cache_stats.misses().to_string(),
+            format!("{:.1}%", 100.0 * result.prefetch_stats.accuracy()),
+            format!("{:.1}%", 100.0 * result.prefetch_stats.coverage()),
+            format!("{:.3}", result.completion_seconds()),
+        ]);
+    }
+    println!("{prefetch_table}");
+}

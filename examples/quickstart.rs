@@ -1,0 +1,82 @@
+//! Quickstart: compare the default Linux remote-paging path with Leap on the
+//! paper's Stride-10 microbenchmark.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use leap_repro::leap_metrics::TextTable;
+use leap_repro::leap_sim_core::units::MIB;
+use leap_repro::leap_workloads::{sequential_trace, stride_trace};
+use leap_repro::prelude::*;
+
+fn row(label: &str, result: &mut RunResult) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.2}", result.median_remote_latency().as_micros_f64()),
+        format!("{:.2}", result.p99_remote_latency().as_micros_f64()),
+        format!("{:.1}%", 100.0 * result.cache_hit_ratio()),
+        format!("{:.3}", result.completion_seconds()),
+    ]
+}
+
+fn main() {
+    // A 16 MiB working set with 50 % local memory, as in the paper's
+    // microbenchmark setup (scaled down so the example finishes in seconds).
+    let working_set = 16 * MIB;
+    let memory_fraction = 0.5;
+
+    let workloads = vec![
+        ("sequential", sequential_trace(working_set, 1)),
+        ("stride-10", stride_trace(working_set, 10, 1)),
+    ];
+
+    for (name, trace) in workloads {
+        let mut table = TextTable::new(vec![
+            "configuration",
+            "median (us)",
+            "p99 (us)",
+            "cache hit",
+            "completion (s)",
+        ])
+        .with_title(format!("4KB remote page access latency — {name}"));
+
+        let linux_config = SimConfig::linux_defaults().with_memory_fraction(memory_fraction);
+        let leap_config = SimConfig::leap_defaults().with_memory_fraction(memory_fraction);
+
+        let mut linux = VmmSimulator::new(linux_config).run_prepopulated(&trace);
+        let mut leap = VmmSimulator::new(leap_config).run_prepopulated(&trace);
+
+        table.add_row(row("D-VMM (Linux default)", &mut linux));
+        table.add_row(row("D-VMM + Leap", &mut leap));
+        println!("{table}");
+
+        let speedup = linux.median_remote_latency().as_micros_f64()
+            / leap.median_remote_latency().as_micros_f64().max(0.001);
+        println!("median speedup with Leap: {speedup:.1}x\n");
+    }
+
+    // The prefetcher alone, demonstrated on the Figure 5 example from §3.2.1.
+    use leap_repro::leap_prefetcher::{LeapPrefetcher, PageAddr, Prefetcher};
+    let mut prefetcher = LeapPrefetcher::default();
+    let figure5 = [
+        0x48u64, 0x45, 0x42, 0x3F, 0x3C, 0x02, 0x04, 0x06, 0x08, 0x0A, 0x0C, 0x10, 0x39, 0x12,
+        0x14, 0x16,
+    ];
+    println!("Leap trend detection on the paper's Figure 5 access sequence:");
+    for addr in figure5 {
+        let decision = prefetcher.on_fault(PageAddr(addr));
+        println!(
+            "  fault {:#04x} -> trend {:?}, prefetch {:?}",
+            addr,
+            prefetcher.last_known_trend(),
+            decision
+                .prefetch
+                .iter()
+                .map(|p| format!("{p}"))
+                .collect::<Vec<_>>()
+        );
+    }
+}

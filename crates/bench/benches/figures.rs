@@ -13,13 +13,20 @@ fn bench_stride_microbenchmark(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("linux_default", |b| {
         b.iter(|| {
-            let config = SimConfig::linux_defaults().with_memory_fraction(0.5);
+            let config = SimConfig::linux_defaults()
+                .to_builder()
+                .memory_fraction(0.5)
+                .build()
+                .expect("valid config");
             black_box(VmmSimulator::new(config).run_prepopulated(&trace))
         })
     });
     group.bench_function("leap", |b| {
         b.iter(|| {
-            let config = SimConfig::leap_defaults().with_memory_fraction(0.5);
+            let config = SimConfig::builder()
+                .memory_fraction(0.5)
+                .build()
+                .expect("valid config");
             black_box(VmmSimulator::new(config).run_prepopulated(&trace))
         })
     });
@@ -34,7 +41,10 @@ fn bench_application_model(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("leap_50pct", |b| {
         b.iter(|| {
-            let config = SimConfig::leap_defaults().with_memory_fraction(0.5);
+            let config = SimConfig::builder()
+                .memory_fraction(0.5)
+                .build()
+                .expect("valid config");
             black_box(VmmSimulator::new(config).run_prepopulated(&trace))
         })
     });

@@ -147,9 +147,12 @@ pub fn fig08b_slow_storage() -> String {
         ),
     ] {
         let config = SimConfig::disk_defaults(backend)
-            .with_prefetcher(prefetcher)
-            .with_memory_fraction(0.5)
-            .with_seed(EXPERIMENT_SEED);
+            .to_builder()
+            .prefetcher(prefetcher)
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
         let result = VmmSimulator::new(config).run_prepopulated(&trace);
         table.add_row(vec![
             label.to_string(),
@@ -173,9 +176,12 @@ pub fn fig09_prefetcher_cache() -> String {
     .with_title("Figure 9: prefetcher impact on the cache and on completion time (PowerGraph)");
     for kind in PrefetcherKind::EVALUATED {
         let config = SimConfig::disk_defaults(BackendKind::Hdd)
-            .with_prefetcher(kind)
-            .with_memory_fraction(0.5)
-            .with_seed(EXPERIMENT_SEED);
+            .to_builder()
+            .prefetcher(kind)
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
         let result = VmmSimulator::new(config).run_prepopulated(&trace);
         table.add_row(vec![
             kind.label().to_string(),
@@ -201,9 +207,12 @@ pub fn fig10_prefetch_effectiveness() -> String {
     .with_title("Figure 10: prefetch accuracy, coverage, and timeliness (PowerGraph)");
     for kind in PrefetcherKind::EVALUATED {
         let config = SimConfig::disk_defaults(BackendKind::Hdd)
-            .with_prefetcher(kind)
-            .with_memory_fraction(0.5)
-            .with_seed(EXPERIMENT_SEED);
+            .to_builder()
+            .prefetcher(kind)
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
         let mut result = VmmSimulator::new(config).run_prepopulated(&trace);
         let accuracy = result.prefetch_stats.accuracy();
         let coverage = result.prefetch_stats.coverage();
@@ -246,12 +255,13 @@ pub fn fig11_applications() -> String {
                 SimConfig::linux_defaults(),
                 SimConfig::leap_defaults(),
             ] {
-                let result = VmmSimulator::new(
-                    config
-                        .with_memory_fraction(fraction)
-                        .with_seed(EXPERIMENT_SEED),
-                )
-                .run_prepopulated(&trace);
+                let config = config
+                    .to_builder()
+                    .memory_fraction(fraction)
+                    .seed(EXPERIMENT_SEED)
+                    .build()
+                    .expect("valid config");
+                let result = VmmSimulator::new(config).run_prepopulated(&trace);
                 let value = if kind.is_throughput_oriented() {
                     format!("{:.1}", result.throughput_ops_per_sec() / 1_000.0)
                 } else {
@@ -288,10 +298,12 @@ pub fn fig12_constrained_cache() -> String {
             "Figure 12 ({kind}): constrained prefetch cache, 50% memory"
         ));
         for (label, pages) in sizes {
-            let config = SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_prefetch_cache_pages(pages)
-                .with_seed(EXPERIMENT_SEED);
+            let config = SimConfig::builder()
+                .memory_fraction(0.5)
+                .prefetch_cache_pages(pages)
+                .seed(EXPERIMENT_SEED)
+                .build()
+                .expect("valid config");
             let result = VmmSimulator::new(config).run_prepopulated(&trace);
             let value = if kind.is_throughput_oriented() {
                 format!("{:.1}", result.throughput_ops_per_sec() / 1_000.0)
@@ -324,9 +336,13 @@ pub fn fig13_multi_app() -> String {
         ("D-VMM", SimConfig::linux_defaults()),
         ("D-VMM + Leap", SimConfig::leap_defaults()),
     ] {
-        let mut result =
-            VmmSimulator::new(config.with_memory_fraction(0.5).with_seed(EXPERIMENT_SEED))
-                .run_multi(&traces, &schedule);
+        let config = config
+            .to_builder()
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
+        let mut result = VmmSimulator::new(config).run_multi(&traces, &schedule);
         table.add_row(vec![
             label.to_string(),
             format!("{:.2}", result.median_remote_latency().as_micros_f64()),

@@ -11,7 +11,8 @@
 //!
 //! prints the corresponding table. Scales are reduced from the paper's
 //! 9–38 GB working sets to tens of MiB so every experiment completes in
-//! seconds; EXPERIMENTS.md records the paper-vs-measured comparison.
+//! seconds; `EXPERIMENTS.md` at the repository root records the
+//! paper-vs-measured comparison.
 
 pub mod app_figures;
 pub mod micro_figures;

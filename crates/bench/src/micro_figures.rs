@@ -3,11 +3,9 @@
 
 use crate::{EXPERIMENT_SEED, MICRO_WORKING_SET};
 use leap::prelude::*;
-use leap::{DataPathKind, EvictionPolicy, VfsSimulator};
 use leap_datapath::{DataPath, LeanDataPath, LegacyDataPath, Stage};
 use leap_metrics::{LatencyHistogram, TextTable};
-use leap_remote::BackendKind;
-use leap_sim_core::{DetRng, Nanos};
+use leap_sim_core::DetRng;
 use leap_workloads::{sequential_trace, stride_trace, AccessTrace};
 
 /// Returns the standard Sequential and Stride-10 microbenchmark traces.
@@ -92,6 +90,14 @@ pub fn fig01_datapath_breakdown() -> String {
 /// Figure 2: 4 KB access-latency distributions on the *default* data path for
 /// Disk, disaggregated VMM, and disaggregated VFS, under Sequential and
 /// Stride-10 access patterns.
+///
+/// This figure is computed from the streaming [`Session`]/[`Observer`] API:
+/// a [`HistogramObserver`] accumulates the remote-access latencies access by
+/// access as the run executes, instead of reading the batch
+/// `RunResult::remote_access_latency` afterwards. The numbers are identical
+/// by construction (the stream and the batch histogram record the same
+/// samples); `stream_matches_batch_histogram` in this module's tests pins
+/// that equivalence.
 pub fn fig02_default_datapath_cdf() -> String {
     let mut out = String::new();
     for (name, trace) in micro_traces() {
@@ -106,38 +112,38 @@ pub fn fig02_default_datapath_cdf() -> String {
             "Figure 2 ({name}): default Linux data path, 50% local memory"
         ));
 
-        let mut disk = VmmSimulator::new(
-            SimConfig::disk_defaults(BackendKind::Hdd)
-                .with_memory_fraction(0.5)
-                .with_seed(EXPERIMENT_SEED),
-        )
-        .run_prepopulated(&trace);
-        table.add_row(percentile_row(
-            "Disk (HDD)",
-            &mut disk.remote_access_latency,
-        ));
+        let disk_config = SimConfig::disk_defaults(BackendKind::Hdd)
+            .to_builder()
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
+        let mut disk = HistogramObserver::remote_accesses();
+        VmmSimulator::new(disk_config)
+            .session()
+            .observe(&mut disk)
+            .run_prepopulated(&trace);
+        table.add_row(percentile_row("Disk (HDD)", disk.histogram()));
 
-        let mut dvmm = VmmSimulator::new(
-            SimConfig::linux_defaults()
-                .with_memory_fraction(0.5)
-                .with_seed(EXPERIMENT_SEED),
-        )
-        .run_prepopulated(&trace);
-        table.add_row(percentile_row(
-            "Disaggregated VMM",
-            &mut dvmm.remote_access_latency,
-        ));
+        let linux_config = SimConfig::linux_defaults()
+            .to_builder()
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
+        let mut dvmm = HistogramObserver::remote_accesses();
+        VmmSimulator::new(linux_config)
+            .session()
+            .observe(&mut dvmm)
+            .run_prepopulated(&trace);
+        table.add_row(percentile_row("Disaggregated VMM", dvmm.histogram()));
 
-        let mut dvfs = VfsSimulator::new(
-            SimConfig::linux_defaults()
-                .with_memory_fraction(0.5)
-                .with_seed(EXPERIMENT_SEED),
-        )
-        .run(&trace);
-        table.add_row(percentile_row(
-            "Disaggregated VFS",
-            &mut dvfs.remote_access_latency,
-        ));
+        let mut dvfs = HistogramObserver::remote_accesses();
+        VfsSimulator::new(linux_config)
+            .session()
+            .observe(&mut dvfs)
+            .run(&trace);
+        table.add_row(percentile_row("Disaggregated VFS", dvfs.histogram()));
 
         out.push_str(&table.render());
         out.push('\n');
@@ -151,23 +157,24 @@ pub fn fig02_default_datapath_cdf() -> String {
 pub fn fig04_lazy_eviction_wait() -> String {
     let trace = stride_trace(MICRO_WORKING_SET, 10, 2);
     // Constrain the prefetch cache so the background reclaimer actually runs.
-    let mut lazy = VmmSimulator::new(
-        SimConfig::linux_defaults()
-            .with_memory_fraction(0.5)
-            .with_prefetcher(PrefetcherKind::Leap)
-            .with_data_path(DataPathKind::Leap)
-            .with_eviction(EvictionPolicy::Lazy)
-            .with_prefetch_cache_pages(512)
-            .with_seed(EXPERIMENT_SEED),
-    )
-    .run_prepopulated(&trace);
-    let eager = VmmSimulator::new(
-        SimConfig::leap_defaults()
-            .with_memory_fraction(0.5)
-            .with_prefetch_cache_pages(512)
-            .with_seed(EXPERIMENT_SEED),
-    )
-    .run_prepopulated(&trace);
+    let lazy_config = SimConfig::linux_defaults()
+        .to_builder()
+        .memory_fraction(0.5)
+        .prefetcher(PrefetcherKind::Leap)
+        .data_path(DataPathKind::Leap)
+        .eviction(EvictionPolicy::Lazy)
+        .prefetch_cache_pages(512)
+        .seed(EXPERIMENT_SEED)
+        .build()
+        .expect("valid config");
+    let mut lazy = VmmSimulator::new(lazy_config).run_prepopulated(&trace);
+    let eager_config = SimConfig::builder()
+        .memory_fraction(0.5)
+        .prefetch_cache_pages(512)
+        .seed(EXPERIMENT_SEED)
+        .build()
+        .expect("valid config");
+    let eager = VmmSimulator::new(eager_config).run_prepopulated(&trace);
 
     let mut table = TextTable::new(vec!["quantile", "lazy eviction wait (us)"])
         .with_title("Figure 4: time a consumed prefetched page waits in the cache before reclaim");
@@ -202,39 +209,31 @@ pub fn fig07_leap_datapath_cdf() -> String {
             "Figure 7 ({name}): Leap vs default, 50% local memory"
         ));
 
-        let mut dvmm = VmmSimulator::new(
-            SimConfig::linux_defaults()
-                .with_memory_fraction(0.5)
-                .with_seed(EXPERIMENT_SEED),
-        )
-        .run_prepopulated(&trace);
+        let linux_config = SimConfig::linux_defaults()
+            .to_builder()
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
+        let leap_config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
+
+        let mut dvmm = VmmSimulator::new(linux_config).run_prepopulated(&trace);
         table.add_row(percentile_row("D-VMM", &mut dvmm.remote_access_latency));
 
-        let mut dvmm_leap = VmmSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_seed(EXPERIMENT_SEED),
-        )
-        .run_prepopulated(&trace);
+        let mut dvmm_leap = VmmSimulator::new(leap_config).run_prepopulated(&trace);
         table.add_row(percentile_row(
             "D-VMM + Leap",
             &mut dvmm_leap.remote_access_latency,
         ));
 
-        let mut dvfs = VfsSimulator::new(
-            SimConfig::linux_defaults()
-                .with_memory_fraction(0.5)
-                .with_seed(EXPERIMENT_SEED),
-        )
-        .run(&trace);
+        let mut dvfs = VfsSimulator::new(linux_config).run(&trace);
         table.add_row(percentile_row("D-VFS", &mut dvfs.remote_access_latency));
 
-        let mut dvfs_leap = VfsSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_seed(EXPERIMENT_SEED),
-        )
-        .run(&trace);
+        let mut dvfs_leap = VfsSimulator::new(leap_config).run(&trace);
         table.add_row(percentile_row(
             "D-VFS + Leap",
             &mut dvfs_leap.remote_access_latency,
@@ -268,15 +267,15 @@ pub fn fig08a_benefit_breakdown() -> String {
     let configs = [
         (
             "data path optimisations only",
-            SimConfig::leap_defaults()
-                .with_prefetcher(PrefetcherKind::None)
-                .with_eviction(EvictionPolicy::Lazy),
+            SimConfig::builder()
+                .prefetcher(PrefetcherKind::None)
+                .eviction(EvictionPolicy::Lazy),
         ),
         (
             "+ prefetcher",
-            SimConfig::leap_defaults().with_eviction(EvictionPolicy::Lazy),
+            SimConfig::builder().eviction(EvictionPolicy::Lazy),
         ),
-        ("+ prefetcher + eager eviction", SimConfig::leap_defaults()),
+        ("+ prefetcher + eager eviction", SimConfig::builder()),
     ];
     let mut table = TextTable::new(vec![
         "configuration",
@@ -286,10 +285,13 @@ pub fn fig08a_benefit_breakdown() -> String {
         "mean (us)",
     ])
     .with_title("Figure 8a: Leap benefit breakdown (Stride-10, 50% local memory)");
-    for (label, config) in configs {
-        let mut result =
-            VmmSimulator::new(config.with_memory_fraction(0.5).with_seed(EXPERIMENT_SEED))
-                .run_prepopulated(&trace);
+    for (label, builder) in configs {
+        let config = builder
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
+        let mut result = VmmSimulator::new(config).run_prepopulated(&trace);
         table.add_row(percentile_row(label, &mut result.remote_access_latency));
     }
     table.render()
@@ -312,5 +314,62 @@ mod tests {
         let report = fig08a_benefit_breakdown();
         assert!(report.contains("data path optimisations only"));
         assert!(report.contains("+ prefetcher + eager eviction"));
+    }
+
+    /// Figure 2 is computed from the Session/Observer stream; this pins that
+    /// the stream reproduces the batch `remote_access_latency` histogram
+    /// sample for sample (identical percentiles, so identical figure rows).
+    #[test]
+    fn stream_matches_batch_histogram() {
+        let trace = stride_trace(2 * leap_sim_core::units::MIB, 10, 1);
+        let config = SimConfig::linux_defaults()
+            .to_builder()
+            .memory_fraction(0.5)
+            .seed(EXPERIMENT_SEED)
+            .build()
+            .expect("valid config");
+
+        let mut streamed = HistogramObserver::remote_accesses();
+        let mut from_stream = VmmSimulator::new(config)
+            .session()
+            .observe(&mut streamed)
+            .run_prepopulated(&trace);
+        let mut batch = VmmSimulator::new(config).run_prepopulated(&trace);
+
+        // Stream vs the result of its own run...
+        assert_eq!(
+            streamed.histogram().len(),
+            from_stream.remote_access_latency.len()
+        );
+        // ...and vs an independent batch run (sessions do not perturb the
+        // simulation).
+        for q in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(
+                streamed.histogram().percentile(q),
+                batch.remote_access_latency.percentile(q),
+                "p{q} diverged between stream and batch"
+            );
+            assert_eq!(
+                streamed.histogram().percentile(q),
+                from_stream.remote_access_latency.percentile(q),
+            );
+        }
+        assert_eq!(batch.remote_accesses, streamed.events());
+
+        // The VFS front-end streams identically too.
+        let mut vfs_streamed = HistogramObserver::remote_accesses();
+        VfsSimulator::new(config)
+            .session()
+            .observe(&mut vfs_streamed)
+            .run(&trace);
+        let mut vfs_batch = VfsSimulator::new(config).run(&trace);
+        assert_eq!(
+            vfs_streamed.histogram().len(),
+            vfs_batch.remote_access_latency.len()
+        );
+        assert_eq!(
+            vfs_streamed.histogram().median(),
+            vfs_batch.remote_access_latency.median()
+        );
     }
 }

@@ -14,8 +14,14 @@
 //! - [`eager`]: Leap's `PrefetchFifoLruList` and eager-free behaviour,
 //!   including the ~36 % page-allocation-time reduction the paper reports.
 
+//! - [`evictor`]: the [`CacheEvictor`] trait putting both policies (and any
+//!   third-party policy registered through `leap`'s component registry)
+//!   behind one engine-facing interface.
+
 pub mod eager;
+pub mod evictor;
 pub mod lazy;
 
 pub use eager::{EagerEvictionStats, PrefetchFifoLru};
+pub use evictor::{CacheEvictor, EagerEvictor, EvictionReport, LazyEvictor};
 pub use lazy::{LazyReclaimer, LazyReclaimerConfig, ReclaimOutcome};

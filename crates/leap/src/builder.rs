@@ -1,0 +1,482 @@
+//! The validated configuration builder.
+//!
+//! [`SimConfigBuilder`] replaces the old ad-hoc `with_*` copy-setters:
+//! every knob has a setter, and [`SimConfigBuilder::build`] validates the
+//! combination, returning `Result<SimConfig, ConfigError>` instead of
+//! silently clamping or letting nonsense configurations produce nonsense
+//! results. Custom components (a third-party prefetcher, data path, or
+//! eviction policy) are injected with the `custom_*` setters or selected by
+//! registry name with the `*_named` setters; [`SimConfigBuilder::build_setup`]
+//! then yields a [`SimSetup`] from which simulators are constructed.
+
+use crate::components::{ComponentRegistry, ResolvedComponents};
+use crate::components::{DataPathFactory, EvictionFactory, PrefetcherFactory};
+use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
+use crate::error::ConfigError;
+use crate::vfs::VfsSimulator;
+use crate::vmm::VmmSimulator;
+use leap_prefetcher::PrefetcherKind;
+use leap_remote::BackendKind;
+use leap_sim_core::Nanos;
+use std::sync::Arc;
+
+/// Builder for [`SimConfig`] with validation at [`build`] time.
+///
+/// [`build`]: SimConfigBuilder::build
+///
+/// # Examples
+///
+/// ```
+/// use leap::prelude::*;
+///
+/// let config = SimConfig::builder()
+///     .memory_fraction(0.5)
+///     .history_size(64)
+///     .max_prefetch_window(16)
+///     .cores(16)
+///     .seed(7)
+///     .build()
+///     .expect("a valid configuration");
+/// assert_eq!(config.history_size, 64);
+///
+/// // Invalid combinations are rejected with the offending knob:
+/// let err = SimConfig::builder().memory_fraction(1.5).build().unwrap_err();
+/// assert!(matches!(err, ConfigError::MemoryFractionOutOfRange(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+    registry: ComponentRegistry,
+    prefetcher_override: Option<Arc<dyn PrefetcherFactory>>,
+    data_path_override: Option<Arc<dyn DataPathFactory>>,
+    eviction_override: Option<Arc<dyn EvictionFactory>>,
+    named_prefetcher: Option<String>,
+    named_data_path: Option<String>,
+    named_eviction: Option<String>,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder::from_config(SimConfig::default())
+    }
+}
+
+impl SimConfigBuilder {
+    /// Starts from an existing configuration.
+    pub fn from_config(config: SimConfig) -> Self {
+        SimConfigBuilder {
+            config,
+            registry: ComponentRegistry::builtin(),
+            prefetcher_override: None,
+            data_path_override: None,
+            eviction_override: None,
+            named_prefetcher: None,
+            named_data_path: None,
+            named_eviction: None,
+        }
+    }
+
+    /// Selects a built-in prefetching algorithm.
+    pub fn prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.config.prefetcher = kind;
+        self.named_prefetcher = None;
+        self.prefetcher_override = None;
+        self
+    }
+
+    /// Selects a built-in data path.
+    pub fn data_path(mut self, kind: DataPathKind) -> Self {
+        self.config.data_path = kind;
+        self.named_data_path = None;
+        self.data_path_override = None;
+        self
+    }
+
+    /// Selects the backing store.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.config.backend = kind;
+        self
+    }
+
+    /// Selects a built-in eviction policy.
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.config.eviction = policy;
+        self.named_eviction = None;
+        self.eviction_override = None;
+        self
+    }
+
+    /// Sets the local memory limit as a fraction of the working set.
+    /// Validated to lie in `(0, 1]` at build time.
+    pub fn memory_fraction(mut self, fraction: f64) -> Self {
+        self.config.memory_fraction = fraction;
+        self
+    }
+
+    /// Sets the prefetch-cache capacity in pages (`u64::MAX` = unbounded).
+    pub fn prefetch_cache_pages(mut self, pages: u64) -> Self {
+        self.config.prefetch_cache_pages = pages;
+        self
+    }
+
+    /// Sets `Hsize`, the access-history length. Validated nonzero.
+    pub fn history_size(mut self, size: usize) -> Self {
+        self.config.history_size = size;
+        self
+    }
+
+    /// Sets `PWsize_max`, the maximum prefetch window. Validated nonzero.
+    pub fn max_prefetch_window(mut self, window: usize) -> Self {
+        self.config.max_prefetch_window = window;
+        self
+    }
+
+    /// Sets the number of CPU cores (per-core dispatch queues). Validated
+    /// nonzero.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Sets per-process prefetcher isolation.
+    pub fn per_process_isolation(mut self, isolated: bool) -> Self {
+        self.config.per_process_isolation = isolated;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the backend's 4 KB read latency with a constant. Validated
+    /// nonzero.
+    pub fn backend_read_latency(mut self, latency: Nanos) -> Self {
+        self.config.backend_read_latency = Some(latency);
+        self
+    }
+
+    /// Overrides the backend's 4 KB write latency with a constant. Validated
+    /// nonzero.
+    pub fn backend_write_latency(mut self, latency: Nanos) -> Self {
+        self.config.backend_write_latency = Some(latency);
+        self
+    }
+
+    /// Replaces the component registry consulted by the `*_named` selectors
+    /// (defaults to [`ComponentRegistry::builtin`]).
+    pub fn registry(mut self, registry: ComponentRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Injects a custom prefetcher factory, bypassing the registry. One
+    /// instance is built per process under per-process isolation.
+    pub fn custom_prefetcher(mut self, factory: impl PrefetcherFactory + 'static) -> Self {
+        self.prefetcher_override = Some(Arc::new(factory));
+        self.named_prefetcher = None;
+        self
+    }
+
+    /// Injects a custom data-path factory, bypassing the registry.
+    pub fn custom_data_path(mut self, factory: impl DataPathFactory + 'static) -> Self {
+        self.data_path_override = Some(Arc::new(factory));
+        self.named_data_path = None;
+        self
+    }
+
+    /// Injects a custom eviction factory, bypassing the registry.
+    pub fn custom_eviction(mut self, factory: impl EvictionFactory + 'static) -> Self {
+        self.eviction_override = Some(Arc::new(factory));
+        self.named_eviction = None;
+        self
+    }
+
+    /// Selects a prefetcher from the registry by name (resolved and
+    /// validated at [`SimConfigBuilder::build_setup`] time).
+    pub fn prefetcher_named(mut self, name: impl Into<String>) -> Self {
+        self.named_prefetcher = Some(name.into());
+        self.prefetcher_override = None;
+        self
+    }
+
+    /// Selects a data path from the registry by name.
+    pub fn data_path_named(mut self, name: impl Into<String>) -> Self {
+        self.named_data_path = Some(name.into());
+        self.data_path_override = None;
+        self
+    }
+
+    /// Selects an eviction policy from the registry by name.
+    pub fn eviction_named(mut self, name: impl Into<String>) -> Self {
+        self.named_eviction = Some(name.into());
+        self.eviction_override = None;
+        self
+    }
+
+    /// Validates and returns the plain-data configuration.
+    ///
+    /// Component injections/selections are *not* carried by [`SimConfig`]
+    /// (it stays `Copy` serializable data), so calling `build` while one is
+    /// pending returns [`ConfigError::ComponentsRequireSetup`] instead of
+    /// silently dropping it; use [`SimConfigBuilder::build_setup`] (or
+    /// `build_vmm` / `build_vfs`) when custom components are in play.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        if self.prefetcher_override.is_some() || self.named_prefetcher.is_some() {
+            return Err(ConfigError::ComponentsRequireSetup { role: "prefetcher" });
+        }
+        if self.data_path_override.is_some() || self.named_data_path.is_some() {
+            return Err(ConfigError::ComponentsRequireSetup { role: "data-path" });
+        }
+        if self.eviction_override.is_some() || self.named_eviction.is_some() {
+            return Err(ConfigError::ComponentsRequireSetup { role: "eviction" });
+        }
+        Ok(self.config)
+    }
+
+    /// Validates the configuration and resolves the three components,
+    /// returning a [`SimSetup`] from which simulators are constructed.
+    pub fn build_setup(self) -> Result<SimSetup, ConfigError> {
+        self.config.validate()?;
+        let mut components = ResolvedComponents::builtin_for(&self.config);
+        if let Some(name) = &self.named_prefetcher {
+            components.prefetcher = self.registry.prefetcher(name)?;
+        }
+        if let Some(name) = &self.named_data_path {
+            components.data_path = self.registry.data_path(name)?;
+        }
+        if let Some(name) = &self.named_eviction {
+            components.eviction = self.registry.eviction(name)?;
+        }
+        if let Some(factory) = self.prefetcher_override {
+            components.prefetcher = factory;
+        }
+        if let Some(factory) = self.data_path_override {
+            components.data_path = factory;
+        }
+        if let Some(factory) = self.eviction_override {
+            components.eviction = factory;
+        }
+        Ok(SimSetup {
+            config: self.config,
+            components,
+        })
+    }
+
+    /// Shorthand for `build_setup()?.vmm()`.
+    pub fn build_vmm(self) -> Result<VmmSimulator, ConfigError> {
+        Ok(self.build_setup()?.vmm())
+    }
+
+    /// Shorthand for `build_setup()?.vfs()`.
+    pub fn build_vfs(self) -> Result<VfsSimulator, ConfigError> {
+        Ok(self.build_setup()?.vfs())
+    }
+}
+
+/// A validated configuration plus its resolved components, ready to
+/// construct simulators.
+///
+/// Cheap to clone (components are shared factories), so one setup can spawn
+/// many simulator instances for repeated runs.
+#[derive(Debug, Clone)]
+pub struct SimSetup {
+    /// The validated plain-data configuration.
+    pub config: SimConfig,
+    components: ResolvedComponents,
+}
+
+impl SimSetup {
+    /// Resolves a plain configuration against the built-in components.
+    ///
+    /// Fails only if `config` itself is invalid — enum-selected components
+    /// always resolve.
+    pub fn from_config(config: SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(SimSetup {
+            components: ResolvedComponents::builtin_for(&config),
+            config,
+        })
+    }
+
+    /// The resolved component factories.
+    pub fn components(&self) -> &ResolvedComponents {
+        &self.components
+    }
+
+    /// The run label (component names + memory fraction).
+    pub fn label(&self) -> String {
+        self.components.label(&self.config)
+    }
+
+    /// Constructs a disaggregated-VMM simulator from this setup.
+    pub fn vmm(&self) -> VmmSimulator {
+        VmmSimulator::from_setup(self)
+    }
+
+    /// Constructs a disaggregated-VFS simulator from this setup.
+    pub fn vfs(&self) -> VfsSimulator {
+        VfsSimulator::from_setup(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let config = SimConfig::builder()
+            .prefetcher(PrefetcherKind::Stride)
+            .data_path(DataPathKind::LinuxDefault)
+            .backend(BackendKind::Hdd)
+            .eviction(EvictionPolicy::Lazy)
+            .memory_fraction(0.25)
+            .prefetch_cache_pages(256)
+            .history_size(16)
+            .max_prefetch_window(4)
+            .cores(4)
+            .per_process_isolation(false)
+            .seed(99)
+            .backend_read_latency(Nanos::from_micros(3))
+            .backend_write_latency(Nanos::from_micros(5))
+            .build()
+            .unwrap();
+        assert_eq!(config.prefetcher, PrefetcherKind::Stride);
+        assert_eq!(config.data_path, DataPathKind::LinuxDefault);
+        assert_eq!(config.backend, BackendKind::Hdd);
+        assert_eq!(config.eviction, EvictionPolicy::Lazy);
+        assert_eq!(config.memory_fraction, 0.25);
+        assert_eq!(config.prefetch_cache_pages, 256);
+        assert_eq!(config.history_size, 16);
+        assert_eq!(config.max_prefetch_window, 4);
+        assert_eq!(config.cores, 4);
+        assert!(!config.per_process_isolation);
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.backend_read_latency, Some(Nanos::from_micros(3)));
+        assert_eq!(config.backend_write_latency, Some(Nanos::from_micros(5)));
+    }
+
+    #[test]
+    fn every_invalid_knob_gets_its_own_error() {
+        assert!(matches!(
+            SimConfig::builder().memory_fraction(0.0).build(),
+            Err(ConfigError::MemoryFractionOutOfRange(_))
+        ));
+        assert!(matches!(
+            SimConfig::builder().memory_fraction(f64::NAN).build(),
+            Err(ConfigError::MemoryFractionOutOfRange(_))
+        ));
+        assert!(matches!(
+            SimConfig::builder().history_size(0).build(),
+            Err(ConfigError::ZeroHistorySize)
+        ));
+        assert!(matches!(
+            SimConfig::builder().max_prefetch_window(0).build(),
+            Err(ConfigError::ZeroPrefetchWindow)
+        ));
+        assert!(matches!(
+            SimConfig::builder().cores(0).build(),
+            Err(ConfigError::ZeroCores)
+        ));
+        assert!(matches!(
+            SimConfig::builder().prefetch_cache_pages(0).build(),
+            Err(ConfigError::ZeroPrefetchCache)
+        ));
+        assert!(matches!(
+            SimConfig::builder()
+                .prefetch_cache_pages(4)
+                .max_prefetch_window(8)
+                .build(),
+            Err(ConfigError::CacheSmallerThanWindow {
+                cache_pages: 4,
+                window: 8
+            })
+        ));
+        assert!(matches!(
+            SimConfig::builder()
+                .backend_read_latency(Nanos::ZERO)
+                .build(),
+            Err(ConfigError::ZeroBackendLatency { which: "read" })
+        ));
+        assert!(matches!(
+            SimConfig::builder()
+                .backend_write_latency(Nanos::ZERO)
+                .build(),
+            Err(ConfigError::ZeroBackendLatency { which: "write" })
+        ));
+    }
+
+    #[test]
+    fn named_selection_resolves_through_the_registry() {
+        let setup = SimConfig::builder()
+            .prefetcher_named("Stride")
+            .data_path_named("linux-default")
+            .eviction_named("lazy")
+            .build_setup()
+            .unwrap();
+        assert_eq!(setup.components().prefetcher.name(), "Stride");
+        assert_eq!(setup.components().data_path.name(), "linux-default");
+        assert_eq!(setup.components().eviction.name(), "lazy");
+
+        let err = SimConfig::builder()
+            .prefetcher_named("oracle")
+            .build_setup()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnknownComponent {
+                role: "prefetcher",
+                name: "oracle".into()
+            }
+        );
+    }
+
+    #[test]
+    fn plain_build_rejects_pending_component_selections() {
+        #[derive(Debug)]
+        struct Fixed;
+        impl crate::components::PrefetcherFactory for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn build(&self, config: &SimConfig) -> Box<dyn leap_prefetcher::Prefetcher> {
+                crate::components::build_prefetcher(PrefetcherKind::None, 1, config.cores)
+            }
+        }
+        // A pending custom factory cannot ride in plain SimConfig data, so
+        // build() errors instead of silently dropping it...
+        assert!(matches!(
+            SimConfig::builder().custom_prefetcher(Fixed).build(),
+            Err(ConfigError::ComponentsRequireSetup { role: "prefetcher" })
+        ));
+        assert!(matches!(
+            SimConfig::builder().eviction_named("lazy").build(),
+            Err(ConfigError::ComponentsRequireSetup { role: "eviction" })
+        ));
+        // ...while build_setup() carries it through.
+        let setup = SimConfig::builder()
+            .custom_prefetcher(Fixed)
+            .build_setup()
+            .unwrap();
+        assert_eq!(setup.components().prefetcher.name(), "fixed");
+    }
+
+    #[test]
+    fn setup_label_matches_config_label_for_builtins() {
+        let setup = SimSetup::from_config(SimConfig::leap_defaults()).unwrap();
+        assert_eq!(setup.label(), setup.config.label());
+    }
+
+    #[test]
+    fn invalid_configs_cannot_become_setups() {
+        let mut config = SimConfig::leap_defaults();
+        config.cores = 0;
+        assert!(matches!(
+            SimSetup::from_config(config),
+            Err(ConfigError::ZeroCores)
+        ));
+    }
+}

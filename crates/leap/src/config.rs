@@ -1,7 +1,18 @@
 //! Simulation configuration.
+//!
+//! [`SimConfig`] is plain, copyable data: every knob of one simulation run.
+//! Construct it through [`SimConfig::builder`], which validates the
+//! combination at [`build`](crate::SimConfigBuilder::build) time, or start
+//! from one of the canonical presets ([`SimConfig::linux_defaults`],
+//! [`SimConfig::leap_defaults`]) and refine via
+//! [`SimConfig::to_builder`]. The legacy `with_*` copy-setters survive one
+//! release as deprecated shims.
 
+use crate::builder::SimConfigBuilder;
+use crate::error::ConfigError;
 use leap_prefetcher::PrefetcherKind;
 use leap_remote::BackendKind;
+use leap_sim_core::Nanos;
 use serde::{Deserialize, Serialize};
 
 /// Which data path serves cache misses.
@@ -20,6 +31,14 @@ impl DataPathKind {
             DataPathKind::LinuxDefault => "linux-default",
             DataPathKind::Leap => "leap",
         }
+    }
+
+    /// The inverse of [`DataPathKind::label`], used when parsing serialized
+    /// configurations.
+    pub fn from_label(label: &str) -> Option<Self> {
+        [DataPathKind::LinuxDefault, DataPathKind::Leap]
+            .into_iter()
+            .find(|k| k.label() == label)
     }
 }
 
@@ -41,6 +60,14 @@ impl EvictionPolicy {
             EvictionPolicy::Eager => "eager",
         }
     }
+
+    /// The inverse of [`EvictionPolicy::label`], used when parsing serialized
+    /// configurations.
+    pub fn from_label(label: &str) -> Option<Self> {
+        [EvictionPolicy::Lazy, EvictionPolicy::Eager]
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
 }
 
 /// Full configuration of one simulation run.
@@ -49,7 +76,10 @@ impl EvictionPolicy {
 /// baseline the paper calls "D-VMM": Linux data path, Read-Ahead prefetcher,
 /// lazy eviction) and [`SimConfig::leap_defaults`] ("D-VMM+Leap": lean data
 /// path, majority-trend prefetcher, eager eviction). Every field can be
-/// overridden to build the ablations in Figures 8–10 and 12.
+/// overridden to build the ablations in Figures 8–10 and 12; use
+/// [`SimConfig::builder`] / [`SimConfig::to_builder`] so invalid
+/// combinations are rejected with a [`ConfigError`] instead of surfacing as
+/// nonsense results.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// The prefetching algorithm.
@@ -77,9 +107,27 @@ pub struct SimConfig {
     pub per_process_isolation: bool,
     /// RNG seed; equal seeds reproduce runs exactly.
     pub seed: u64,
+    /// Overrides the backend's 4 KB read latency with a constant (for
+    /// what-if studies against hypothetical devices); `None` keeps the
+    /// paper-calibrated distribution.
+    pub backend_read_latency: Option<Nanos>,
+    /// Overrides the backend's 4 KB write latency with a constant; `None`
+    /// keeps the paper-calibrated distribution.
+    pub backend_write_latency: Option<Nanos>,
 }
 
 impl SimConfig {
+    /// Starts a validated builder from [`SimConfig::default`]
+    /// (= [`SimConfig::leap_defaults`]).
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Starts a validated builder from this configuration.
+    pub fn to_builder(self) -> SimConfigBuilder {
+        SimConfigBuilder::from_config(self)
+    }
+
     /// The baseline configuration: Linux data path, Read-Ahead prefetching,
     /// lazy eviction, no per-process isolation.
     pub fn linux_defaults() -> Self {
@@ -95,6 +143,8 @@ impl SimConfig {
             cores: 8,
             per_process_isolation: false,
             seed: 42,
+            backend_read_latency: None,
+            backend_write_latency: None,
         }
     }
 
@@ -119,49 +169,102 @@ impl SimConfig {
         }
     }
 
+    /// Validates this configuration (the same checks
+    /// [`SimConfigBuilder::build`] runs).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.memory_fraction > 0.0 && self.memory_fraction <= 1.0) {
+            return Err(ConfigError::MemoryFractionOutOfRange(self.memory_fraction));
+        }
+        if self.history_size == 0 {
+            return Err(ConfigError::ZeroHistorySize);
+        }
+        if self.max_prefetch_window == 0 {
+            return Err(ConfigError::ZeroPrefetchWindow);
+        }
+        if self.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if self.prefetch_cache_pages == 0 {
+            return Err(ConfigError::ZeroPrefetchCache);
+        }
+        if self.prefetch_cache_pages != u64::MAX
+            && self.prefetch_cache_pages < self.max_prefetch_window as u64
+        {
+            return Err(ConfigError::CacheSmallerThanWindow {
+                cache_pages: self.prefetch_cache_pages,
+                window: self.max_prefetch_window,
+            });
+        }
+        if self.backend_read_latency == Some(Nanos::ZERO) {
+            return Err(ConfigError::ZeroBackendLatency { which: "read" });
+        }
+        if self.backend_write_latency == Some(Nanos::ZERO) {
+            return Err(ConfigError::ZeroBackendLatency { which: "write" });
+        }
+        Ok(())
+    }
+
     /// Overrides the prefetcher.
+    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().prefetcher(..)")]
     pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
         self.prefetcher = prefetcher;
         self
     }
 
     /// Overrides the data path.
+    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().data_path(..)")]
     pub fn with_data_path(mut self, data_path: DataPathKind) -> Self {
         self.data_path = data_path;
         self
     }
 
     /// Overrides the backend.
+    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().backend(..)")]
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
         self
     }
 
     /// Overrides the eviction policy.
+    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().eviction(..)")]
     pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
         self.eviction = eviction;
         self
     }
 
-    /// Overrides the local-memory fraction (clamped to `(0, 1]`).
+    /// Overrides the local-memory fraction (clamped to `(0, 1]`; the builder
+    /// rejects out-of-range fractions instead of clamping).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimConfig::to_builder().memory_fraction(..)"
+    )]
     pub fn with_memory_fraction(mut self, fraction: f64) -> Self {
         self.memory_fraction = fraction.clamp(0.01, 1.0);
         self
     }
 
     /// Overrides the prefetch-cache capacity in pages.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimConfig::to_builder().prefetch_cache_pages(..)"
+    )]
     pub fn with_prefetch_cache_pages(mut self, pages: u64) -> Self {
         self.prefetch_cache_pages = pages;
         self
     }
 
     /// Overrides the RNG seed.
+    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().seed(..)")]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Overrides per-process isolation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimConfig::to_builder().per_process_isolation(..)"
+    )]
     pub fn with_isolation(mut self, isolated: bool) -> Self {
         self.per_process_isolation = isolated;
         self
@@ -177,6 +280,184 @@ impl SimConfig {
             self.eviction.label(),
             self.memory_fraction * 100.0
         )
+    }
+
+    /// Serializes the configuration to a flat JSON object.
+    ///
+    /// The format is stable and explicit (no serde involvement — see
+    /// `vendor/README.md`): enum fields use their `label()` strings, latency
+    /// overrides serialize as nanoseconds or `null`.
+    pub fn to_json(&self) -> String {
+        fn opt_nanos(v: Option<Nanos>) -> String {
+            match v {
+                Some(n) => n.as_nanos().to_string(),
+                None => "null".to_string(),
+            }
+        }
+        format!(
+            concat!(
+                "{{",
+                "\"prefetcher\":\"{}\",",
+                "\"data_path\":\"{}\",",
+                "\"backend\":\"{}\",",
+                "\"eviction\":\"{}\",",
+                "\"memory_fraction\":{},",
+                "\"prefetch_cache_pages\":{},",
+                "\"history_size\":{},",
+                "\"max_prefetch_window\":{},",
+                "\"cores\":{},",
+                "\"per_process_isolation\":{},",
+                "\"seed\":{},",
+                "\"backend_read_latency_ns\":{},",
+                "\"backend_write_latency_ns\":{}",
+                "}}"
+            ),
+            self.prefetcher.label(),
+            self.data_path.label(),
+            self.backend.label(),
+            self.eviction.label(),
+            self.memory_fraction,
+            self.prefetch_cache_pages,
+            self.history_size,
+            self.max_prefetch_window,
+            self.cores,
+            self.per_process_isolation,
+            self.seed,
+            opt_nanos(self.backend_read_latency),
+            opt_nanos(self.backend_write_latency),
+        )
+    }
+
+    /// Parses a configuration previously produced by [`SimConfig::to_json`]
+    /// and validates it.
+    ///
+    /// Unknown keys are rejected; missing keys fall back to
+    /// [`SimConfig::linux_defaults`] so the format can grow fields without
+    /// breaking stored configs.
+    pub fn from_json(text: &str) -> Result<Self, ConfigError> {
+        let mut config = SimConfig::linux_defaults();
+        let body = text.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| ConfigError::Parse("expected a JSON object".into()))?;
+
+        for pair in split_top_level_pairs(body) {
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| ConfigError::Parse(format!("expected key:value, got {pair:?}")))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| ConfigError::Parse(format!("unquoted key {key:?}")))?;
+            let value = value.trim();
+            match key {
+                "prefetcher" => {
+                    config.prefetcher =
+                        PrefetcherKind::from_label(parse_str(value)?).ok_or_else(|| {
+                            ConfigError::UnknownComponent {
+                                role: "prefetcher",
+                                name: value.trim_matches('"').to_string(),
+                            }
+                        })?
+                }
+                "data_path" => {
+                    config.data_path =
+                        DataPathKind::from_label(parse_str(value)?).ok_or_else(|| {
+                            ConfigError::UnknownComponent {
+                                role: "data-path",
+                                name: value.trim_matches('"').to_string(),
+                            }
+                        })?
+                }
+                "backend" => {
+                    config.backend =
+                        BackendKind::from_label(parse_str(value)?).ok_or_else(|| {
+                            ConfigError::UnknownComponent {
+                                role: "backend",
+                                name: value.trim_matches('"').to_string(),
+                            }
+                        })?
+                }
+                "eviction" => {
+                    config.eviction =
+                        EvictionPolicy::from_label(parse_str(value)?).ok_or_else(|| {
+                            ConfigError::UnknownComponent {
+                                role: "eviction",
+                                name: value.trim_matches('"').to_string(),
+                            }
+                        })?
+                }
+                "memory_fraction" => config.memory_fraction = parse_num::<f64>(value)?,
+                "prefetch_cache_pages" => config.prefetch_cache_pages = parse_num::<u64>(value)?,
+                "history_size" => config.history_size = parse_num::<usize>(value)?,
+                "max_prefetch_window" => config.max_prefetch_window = parse_num::<usize>(value)?,
+                "cores" => config.cores = parse_num::<usize>(value)?,
+                "per_process_isolation" => config.per_process_isolation = parse_bool(value)?,
+                "seed" => config.seed = parse_num::<u64>(value)?,
+                "backend_read_latency_ns" => {
+                    config.backend_read_latency = parse_opt_nanos(value)?;
+                }
+                "backend_write_latency_ns" => {
+                    config.backend_write_latency = parse_opt_nanos(value)?;
+                }
+                other => return Err(ConfigError::Parse(format!("unknown key {other:?}"))),
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+/// Splits the body of a flat JSON object on top-level commas (no nested
+/// objects/arrays exist in this format, but strings may contain commas).
+fn split_top_level_pairs(body: &str) -> Vec<&str> {
+    let mut pairs = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        pairs.push(&body[start..]);
+    }
+    pairs
+}
+
+fn parse_str(value: &str) -> Result<&str, ConfigError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ConfigError::Parse(format!("expected a string, got {value}")))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str) -> Result<T, ConfigError> {
+    value
+        .parse::<T>()
+        .map_err(|_| ConfigError::Parse(format!("expected a number, got {value}")))
+}
+
+fn parse_bool(value: &str) -> Result<bool, ConfigError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(ConfigError::Parse(format!("expected a bool, got {other}"))),
+    }
+}
+
+fn parse_opt_nanos(value: &str) -> Result<Option<Nanos>, ConfigError> {
+    if value == "null" {
+        Ok(None)
+    } else {
+        Ok(Some(Nanos::from_nanos(parse_num::<u64>(value)?)))
     }
 }
 
@@ -208,7 +489,8 @@ mod tests {
     }
 
     #[test]
-    fn builders_override_fields() {
+    #[allow(deprecated)]
+    fn deprecated_with_setters_still_override_fields() {
         let config = SimConfig::leap_defaults()
             .with_memory_fraction(0.25)
             .with_prefetcher(PrefetcherKind::Stride)
@@ -226,10 +508,13 @@ mod tests {
         assert!(!config.per_process_isolation);
         assert_eq!(config.eviction, EvictionPolicy::Lazy);
         assert_eq!(config.data_path, DataPathKind::LinuxDefault);
+        // Shims produce configs the builder would also accept.
+        config.validate().expect("shim output validates");
     }
 
     #[test]
-    fn memory_fraction_is_clamped() {
+    #[allow(deprecated)]
+    fn deprecated_memory_fraction_is_clamped() {
         assert_eq!(
             SimConfig::leap_defaults()
                 .with_memory_fraction(3.0)
@@ -246,7 +531,11 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        let label = SimConfig::leap_defaults().with_memory_fraction(0.5).label();
+        let label = SimConfig::builder()
+            .memory_fraction(0.5)
+            .build()
+            .unwrap()
+            .label();
         assert!(label.contains("leap"));
         assert!(label.contains("50%"));
         assert_eq!(DataPathKind::LinuxDefault.label(), "linux-default");
@@ -258,5 +547,70 @@ mod tests {
         let config = SimConfig::disk_defaults(BackendKind::Hdd);
         assert_eq!(config.backend, BackendKind::Hdd);
         assert_eq!(config.data_path, DataPathKind::LinuxDefault);
+    }
+
+    #[test]
+    fn label_round_trips() {
+        for kind in [DataPathKind::LinuxDefault, DataPathKind::Leap] {
+            assert_eq!(DataPathKind::from_label(kind.label()), Some(kind));
+        }
+        for policy in [EvictionPolicy::Lazy, EvictionPolicy::Eager] {
+            assert_eq!(EvictionPolicy::from_label(policy.label()), Some(policy));
+        }
+        assert_eq!(DataPathKind::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let config = SimConfig::builder()
+            .prefetcher(PrefetcherKind::Stride)
+            .data_path(DataPathKind::LinuxDefault)
+            .backend(BackendKind::Ssd)
+            .eviction(EvictionPolicy::Lazy)
+            .memory_fraction(0.25)
+            .prefetch_cache_pages(512)
+            .history_size(16)
+            .max_prefetch_window(4)
+            .cores(12)
+            .per_process_isolation(true)
+            .seed(1234)
+            .backend_read_latency(Nanos::from_micros(7))
+            .build()
+            .unwrap();
+        let json = config.to_json();
+        let parsed = SimConfig::from_json(&json).unwrap();
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn json_round_trip_of_defaults() {
+        for config in [SimConfig::linux_defaults(), SimConfig::leap_defaults()] {
+            let parsed = SimConfig::from_json(&config.to_json()).unwrap();
+            assert_eq!(parsed, config);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            SimConfig::from_json("not json"),
+            Err(ConfigError::Parse(_))
+        ));
+        assert!(matches!(
+            SimConfig::from_json("{\"bogus_key\":1}"),
+            Err(ConfigError::Parse(_))
+        ));
+        assert!(matches!(
+            SimConfig::from_json("{\"prefetcher\":\"Quantum\"}"),
+            Err(ConfigError::UnknownComponent {
+                role: "prefetcher",
+                ..
+            })
+        ));
+        // Parsed configs are validated like built ones.
+        assert!(matches!(
+            SimConfig::from_json("{\"cores\":0}"),
+            Err(ConfigError::ZeroCores)
+        ));
     }
 }

@@ -1,0 +1,214 @@
+//! The shared fault-engine core.
+//!
+//! Everything the two front-ends ([`crate::VmmSimulator`],
+//! [`crate::VfsSimulator`]) have in common lives here: the simulation clock,
+//! the swap/prefetch cache, the per-process prefetcher tracker, the data
+//! path, the eviction policy, result accumulation, and the round-robin core
+//! cursor. The front-ends keep only what genuinely differs — page tables,
+//! swap space and cgroup limits for the VMM; the cache budget for the VFS —
+//! and drive the core through the helpers below, so hit/miss accounting and
+//! eviction bookkeeping are implemented exactly once.
+
+use crate::builder::SimSetup;
+use crate::config::SimConfig;
+use crate::result::RunResult;
+use crate::session::{AccessOutcome, FaultEvent};
+use crate::tracker::PageAccessTracker;
+use leap_datapath::{DataPath, PathLatency};
+use leap_eviction::{CacheEvictor, EvictionReport};
+use leap_mem::{CacheEntry, CacheOrigin, Pid, SwapCache, SwapSlot};
+use leap_prefetcher::PageAddr;
+use leap_sim_core::{DetRng, Nanos, SimClock};
+use leap_workloads::{Access, AccessTrace};
+
+/// Shared state and bookkeeping of one simulation run.
+#[derive(Debug)]
+pub(crate) struct EngineCore {
+    pub config: SimConfig,
+    pub label: String,
+    pub clock: SimClock,
+    pub cache: SwapCache,
+    pub tracker: PageAccessTracker,
+    pub data_path: Box<dyn DataPath>,
+    pub evictor: Box<dyn CacheEvictor>,
+    pub result: RunResult,
+    pub seq: u64,
+    core_cursor: usize,
+}
+
+impl EngineCore {
+    /// Builds the core from a resolved setup. `rng_salt` decorrelates the
+    /// front-ends' random streams for the same seed (the VFS front-end
+    /// historically salts with `0xF5`).
+    pub fn new(setup: &SimSetup, rng_salt: u64) -> Self {
+        let config = setup.config;
+        let mut rng = DetRng::seed_from(config.seed ^ rng_salt);
+        let components = setup.components();
+        EngineCore {
+            clock: SimClock::new(),
+            cache: SwapCache::new(config.prefetch_cache_pages),
+            tracker: PageAccessTracker::new(components.prefetcher.clone(), &config),
+            data_path: components.data_path.build(&config, &mut rng),
+            evictor: components.eviction.build(&config),
+            result: RunResult::default(),
+            seq: 0,
+            core_cursor: 0,
+            label: setup.label(),
+            config,
+        }
+    }
+
+    /// Stamps the result metadata from the traces about to be replayed.
+    pub fn stamp_run(&mut self, workload: String) {
+        self.result.workload = workload;
+        self.result.config_label = self.label.clone();
+    }
+
+    /// Joined workload name for `traces` (matches the historical "+" join
+    /// for multi-process runs).
+    pub fn workload_name(traces: &[AccessTrace]) -> String {
+        traces
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Picks the CPU core the next request is issued from (round-robin, as a
+    /// stand-in for the scheduler spreading threads over cores).
+    pub fn next_core(&mut self) -> usize {
+        self.core_cursor = (self.core_cursor + 1) % self.config.cores.max(1);
+        self.core_cursor
+    }
+
+    /// Serves one page read over the data path from the next core.
+    pub fn read_remote(&mut self, page_offset: u64) -> PathLatency {
+        let core = self.next_core();
+        let now = self.clock.now();
+        self.data_path.read_page(page_offset, core, now)
+    }
+
+    /// Issues one page write-back over the data path from the next core.
+    pub fn write_remote(&mut self, page_offset: u64) -> PathLatency {
+        let core = self.next_core();
+        let now = self.clock.now();
+        self.data_path.write_page(page_offset, core, now)
+    }
+
+    /// Books an eviction pass into the run metrics: post-hit waits feed the
+    /// Figure 4 distribution, freed pages feed the cache counters.
+    pub fn record_eviction_report(&mut self, report: &EvictionReport) {
+        for wait in &report.post_hit_wait {
+            self.result.eviction_wait.record(*wait);
+        }
+        for _ in 0..report.freed_unused_prefetches {
+            self.result.cache_stats.record_eviction(true);
+        }
+        for _ in 0..report.freed_other {
+            self.result.cache_stats.record_eviction(false);
+        }
+    }
+
+    /// Handles the accounting for a swap-cache hit by `pid`: cache/prefetch
+    /// statistics, prefetcher feedback, and the eviction policy's reaction.
+    /// Returns `true` if the policy freed the entry.
+    pub fn note_cache_hit(&mut self, pid: Pid, slot: SwapSlot, entry: &CacheEntry) -> bool {
+        let now = self.clock.now();
+        match entry.origin {
+            CacheOrigin::Prefetch => {
+                self.result.cache_stats.record_prefetch_hit();
+                self.result
+                    .prefetch_stats
+                    .record_prefetch_hit(now.saturating_sub(entry.inserted_at));
+                self.tracker.on_prefetch_hit(pid, PageAddr(slot.0));
+            }
+            CacheOrigin::Demand => {
+                self.result.cache_stats.record_demand_hit();
+            }
+        }
+        self.evictor.on_hit(slot, entry.origin, &mut self.cache)
+    }
+
+    /// Makes room for one page in a bounded prefetch cache. Returns `false`
+    /// when the policy could not free anything (the caller should skip its
+    /// insert).
+    pub fn make_cache_space(&mut self) -> bool {
+        if !self.cache.is_full() {
+            return true;
+        }
+        let now = self.clock.now();
+        let report = self.evictor.make_space(&mut self.cache, 1, now);
+        let freed = !report.is_empty();
+        self.record_eviction_report(&report);
+        freed
+    }
+
+    /// Inserts a prefetched page into the cache (the transfer itself has
+    /// already been issued over the data path) and updates every counter.
+    /// Returns `true` if the insert took place.
+    pub fn insert_prefetched(&mut self, slot: SwapSlot, owner: Pid) -> bool {
+        let now = self.clock.now();
+        if self.cache.insert(slot, owner, CacheOrigin::Prefetch, now) {
+            self.result.cache_stats.record_add(1);
+            self.result.prefetch_stats.record_prefetched(1);
+            self.evictor.on_insert(slot, CacheOrigin::Prefetch);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs the eviction policy's background reclaimer (a no-op for
+    /// policies without one) and books its effects.
+    pub fn background_reclaim(&mut self) {
+        let now = self.clock.now();
+        if let Some(report) = self.evictor.background_reclaim(&mut self.cache, now) {
+            self.record_eviction_report(&report);
+        }
+    }
+
+    /// Charges one access: advances the clock over the access's compute and
+    /// `latency`, records the histograms, and emits the [`FaultEvent`].
+    ///
+    /// Must be called exactly once per access, after the outcome-specific
+    /// work (the compute advance happens in [`EngineCore::begin_access`]).
+    pub fn complete_access(
+        &mut self,
+        pid: Pid,
+        access: Access,
+        outcome: AccessOutcome,
+        latency: Nanos,
+        prefetches_issued: u32,
+    ) -> FaultEvent {
+        self.clock.advance(latency);
+        self.result.access_latency.record(latency);
+        if outcome.is_remote() {
+            self.result.remote_access_latency.record(latency);
+        }
+        let event = FaultEvent {
+            seq: self.seq,
+            pid,
+            page: access.page,
+            is_write: access.is_write,
+            outcome,
+            latency,
+            completed_at: self.clock.now(),
+            prefetches_issued,
+        };
+        self.seq += 1;
+        event
+    }
+
+    /// Starts one access: advances the clock over its compute cost and
+    /// counts it.
+    pub fn begin_access(&mut self, access: &Access) {
+        self.clock.advance(access.compute);
+        self.result.total_accesses += 1;
+    }
+
+    /// Finishes the run.
+    pub fn into_result(mut self) -> RunResult {
+        self.result.completion_time = self.clock.now();
+        self.result
+    }
+}

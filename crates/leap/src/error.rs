@@ -1,0 +1,94 @@
+//! Configuration errors.
+
+use std::fmt;
+
+/// Why a [`crate::SimConfig`] failed to validate.
+///
+/// Produced by [`crate::SimConfigBuilder::build`] and by
+/// [`crate::SimConfig::from_json`]. Each variant names the offending knob so
+/// experiment scripts can report actionable errors instead of panicking deep
+/// inside a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `memory_fraction` must lie in `(0, 1]`.
+    MemoryFractionOutOfRange(f64),
+    /// `history_size` (the paper's `Hsize`) must be nonzero.
+    ZeroHistorySize,
+    /// `max_prefetch_window` (the paper's `PWsize_max`) must be nonzero.
+    ZeroPrefetchWindow,
+    /// `cores` must be nonzero (there is at least one dispatch queue).
+    ZeroCores,
+    /// `prefetch_cache_pages` must be nonzero; a zero-capacity cache would
+    /// silently disable prefetching while the prefetcher still pays for it.
+    ZeroPrefetchCache,
+    /// A bounded prefetch cache must hold at least one full prefetch window,
+    /// otherwise every prefetch batch evicts its own earlier pages before
+    /// they can be consumed and the eviction policy degenerates to thrash.
+    CacheSmallerThanWindow {
+        /// Configured cache capacity in pages.
+        cache_pages: u64,
+        /// Configured maximum prefetch window.
+        window: usize,
+    },
+    /// A backend latency override must be nonzero.
+    ZeroBackendLatency {
+        /// Which override was zero: `"read"` or `"write"`.
+        which: &'static str,
+    },
+    /// A component name was not found in the registry.
+    UnknownComponent {
+        /// Which registry was consulted: `"prefetcher"`, `"data-path"`, or
+        /// `"eviction"`.
+        role: &'static str,
+        /// The requested name.
+        name: String,
+    },
+    /// [`crate::SimConfigBuilder::build`] was called while a custom or
+    /// named component selection is pending. Plain [`crate::SimConfig`]
+    /// cannot carry components; use
+    /// [`crate::SimConfigBuilder::build_setup`] (or `build_vmm` /
+    /// `build_vfs`) so the selection is honoured instead of dropped.
+    ComponentsRequireSetup {
+        /// Which selection is pending: `"prefetcher"`, `"data-path"`, or
+        /// `"eviction"`.
+        role: &'static str,
+    },
+    /// A serialized config could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MemoryFractionOutOfRange(v) => {
+                write!(f, "memory_fraction must be in (0, 1], got {v}")
+            }
+            ConfigError::ZeroHistorySize => write!(f, "history_size must be nonzero"),
+            ConfigError::ZeroPrefetchWindow => write!(f, "max_prefetch_window must be nonzero"),
+            ConfigError::ZeroCores => write!(f, "cores must be nonzero"),
+            ConfigError::ZeroPrefetchCache => write!(f, "prefetch_cache_pages must be nonzero"),
+            ConfigError::CacheSmallerThanWindow {
+                cache_pages,
+                window,
+            } => write!(
+                f,
+                "prefetch cache of {cache_pages} pages cannot hold one \
+                 max_prefetch_window of {window} pages"
+            ),
+            ConfigError::ZeroBackendLatency { which } => {
+                write!(f, "backend {which} latency override must be nonzero")
+            }
+            ConfigError::UnknownComponent { role, name } => {
+                write!(f, "no {role} component named {name:?} is registered")
+            }
+            ConfigError::ComponentsRequireSetup { role } => write!(
+                f,
+                "a custom/named {role} selection is pending; build_setup() \
+                 (or build_vmm()/build_vfs()) must be used so it is not dropped"
+            ),
+            ConfigError::Parse(msg) => write!(f, "config parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

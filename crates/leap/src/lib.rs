@@ -5,7 +5,8 @@
 //! substrate crates — memory management (`leap-mem`), remote memory
 //! (`leap-remote`), data paths (`leap-datapath`), prefetchers
 //! (`leap-prefetcher`), eviction policies (`leap-eviction`), workloads
-//! (`leap-workloads`) and metrics (`leap-metrics`) — into two front-ends:
+//! (`leap-workloads`) and metrics (`leap-metrics`) — into two front-ends
+//! behind one [`Simulator`] trait:
 //!
 //! - [`vmm::VmmSimulator`]: disaggregated virtual memory management
 //!   (Infiniswap-style remote paging), the configuration most of the paper's
@@ -16,9 +17,15 @@
 //! Both are driven by [`leap_workloads::AccessTrace`]s and produce a
 //! [`result::RunResult`] with the latency distributions, cache statistics,
 //! prefetch effectiveness, and completion time / throughput numbers the
-//! paper's figures report.
+//! paper's figures report. For streaming consumers, a [`session::Session`]
+//! drives either simulator access by access, emitting a
+//! [`session::FaultEvent`] per access to [`session::Observer`] hooks.
 //!
 //! # Quick start
+//!
+//! Configurations are built with the validated [`SimConfig::builder`]
+//! (invalid combinations return a [`ConfigError`] at
+//! [`SimConfigBuilder::build`] time):
 //!
 //! ```
 //! use leap::prelude::*;
@@ -26,31 +33,65 @@
 //!
 //! // A Stride-10 microbenchmark over 8 MiB with 50 % local memory.
 //! let trace = leap_workloads::stride_trace(8 * MIB, 10, 2);
-//! let config = SimConfig::leap_defaults()
-//!     .with_memory_fraction(0.5)
-//!     .with_seed(7);
+//! let config = SimConfig::builder()
+//!     .memory_fraction(0.5)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
 //! let result = VmmSimulator::new(config).run(&trace);
 //! assert!(result.remote_accesses() > 0);
 //! // The Leap configuration serves most remote accesses from the prefetch cache.
 //! assert!(result.cache_stats.hit_ratio() > 0.5);
 //! ```
+//!
+//! # Plugging in components
+//!
+//! The three mechanisms the paper composes — prefetcher, data path, eviction
+//! policy — are open: implement [`components::PrefetcherFactory`] (or the
+//! data-path/eviction equivalents) outside this crate and inject it with
+//! [`SimConfigBuilder::custom_prefetcher`], or register it in a
+//! [`components::ComponentRegistry`] and select it by name with
+//! [`SimConfigBuilder::prefetcher_named`]. The built-in enums
+//! ([`leap_prefetcher::PrefetcherKind`], [`DataPathKind`],
+//! [`EvictionPolicy`]) are themselves just registry entries.
 
+pub mod builder;
+pub mod components;
 pub mod config;
+mod engine;
+pub mod error;
 pub mod result;
+pub mod session;
 pub mod tracker;
 pub mod vfs;
 pub mod vmm;
 
+pub use builder::{SimConfigBuilder, SimSetup};
+pub use components::{
+    ComponentRegistry, DataPathFactory, EvictionFactory, PrefetcherFactory, ResolvedComponents,
+};
 pub use config::{DataPathKind, EvictionPolicy, SimConfig};
+pub use error::ConfigError;
 pub use result::RunResult;
+pub use session::{
+    AccessOutcome, FaultEvent, HistogramObserver, Observer, OutcomeCounts, Session, Simulator,
+};
 pub use tracker::PageAccessTracker;
 pub use vfs::VfsSimulator;
 pub use vmm::VmmSimulator;
 
 /// Commonly used items, re-exported for examples and experiment binaries.
 pub mod prelude {
+    pub use crate::builder::{SimConfigBuilder, SimSetup};
+    pub use crate::components::{
+        ComponentRegistry, DataPathFactory, EvictionFactory, PrefetcherFactory,
+    };
     pub use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
+    pub use crate::error::ConfigError;
     pub use crate::result::RunResult;
+    pub use crate::session::{
+        AccessOutcome, FaultEvent, HistogramObserver, Observer, OutcomeCounts, Session, Simulator,
+    };
     pub use crate::tracker::PageAccessTracker;
     pub use crate::vfs::VfsSimulator;
     pub use crate::vmm::VmmSimulator;

@@ -1,0 +1,317 @@
+//! The unified [`Simulator`] trait and the stepwise [`Session`] API.
+//!
+//! Historically `VmmSimulator` and `VfsSimulator` were two unrelated structs
+//! exposing only batch `run(trace) -> RunResult`. This module puts both
+//! behind one trait and adds a streaming mode: a [`Session`] drives a
+//! simulator access by access and hands every resulting [`FaultEvent`] to
+//! [`Observer`] hooks *while the run executes*. The batch result is
+//! unchanged — `Session::run` and `Simulator::run` replay the exact same
+//! step sequence — so figures can be computed from the stream with
+//! numerically identical output (see `leap-bench`'s Figure 2/7 percentile
+//! rows).
+
+use crate::config::SimConfig;
+use crate::result::RunResult;
+use leap_mem::{CacheOrigin, Pid};
+use leap_metrics::LatencyHistogram;
+use leap_sim_core::Nanos;
+use leap_workloads::multi::InterleavedStep;
+use leap_workloads::{Access, AccessTrace};
+
+/// How one access was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The page was resident and mapped: a local DRAM reference.
+    LocalHit,
+    /// First touch: a demand-zero minor fault.
+    MinorFault,
+    /// A remote page access served from the swap/prefetch cache.
+    CacheHit {
+        /// How the entry got into the cache (prefetched vs demand-cached).
+        origin: CacheOrigin,
+    },
+    /// A remote page access that traversed the data path to the backend.
+    RemoteFetch,
+    /// A buffered file write absorbed by the VFS cache (VFS front-end only).
+    BufferedWrite,
+}
+
+impl AccessOutcome {
+    /// True for the outcomes the paper counts as *remote page accesses*
+    /// (everything that went to the remote-access machinery rather than
+    /// plain resident memory).
+    pub fn is_remote(self) -> bool {
+        !matches!(self, AccessOutcome::LocalHit | AccessOutcome::MinorFault)
+    }
+}
+
+/// One access's journey through the fault engine, as emitted to observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// 0-based index of the access in replay order.
+    pub seq: u64,
+    /// The accessing process.
+    pub pid: Pid,
+    /// The virtual page (VMM) or file page (VFS) touched.
+    pub page: u64,
+    /// Whether the access was a write.
+    pub is_write: bool,
+    /// How the access was served.
+    pub outcome: AccessOutcome,
+    /// Latency charged to the access (what the latency histograms record).
+    pub latency: Nanos,
+    /// Simulated time when the access completed.
+    pub completed_at: Nanos,
+    /// Prefetch candidates issued on the back of this access.
+    pub prefetches_issued: u32,
+}
+
+/// A hook receiving the event stream of a [`Session`] run.
+pub trait Observer {
+    /// Called after every access, in replay order.
+    fn on_event(&mut self, event: &FaultEvent);
+
+    /// Called once with the finished result.
+    fn on_complete(&mut self, _result: &RunResult) {}
+}
+
+/// A paging/file front-end that replays access traces.
+///
+/// The required methods are the stepwise core ([`Simulator::prepare`], then
+/// [`Simulator::step_access`] per access, then [`Simulator::into_result`]);
+/// the batch entry points [`Simulator::run`] and [`Simulator::run_multi`]
+/// are provided on top of them, as is the observable [`Session`] wrapper.
+pub trait Simulator: Sized {
+    /// The configuration this simulator was built with.
+    fn config(&self) -> &SimConfig;
+
+    /// The run label used in reports (component names + memory fraction).
+    fn label(&self) -> &str;
+
+    /// Sizes per-process state for the given traces (process `i` in
+    /// `traces` becomes `Pid(i + 1)`) and stamps the result metadata.
+    fn prepare(&mut self, traces: &[AccessTrace]);
+
+    /// Replays the working set once without recording metrics (the paper's
+    /// allocate-and-initialise phase). Front-ends without that notion keep
+    /// the default no-op.
+    fn prepopulate(&mut self, _pid: Pid, _trace: &AccessTrace) {}
+
+    /// Executes one access for `pid`, charging its latency, and describes it.
+    fn step_access(&mut self, pid: Pid, access: Access) -> FaultEvent;
+
+    /// Finishes the run and returns the accumulated result.
+    fn into_result(self) -> RunResult;
+
+    /// Replays a single-process trace to completion.
+    fn run(mut self, trace: &AccessTrace) -> RunResult {
+        self.prepare(std::slice::from_ref(trace));
+        for access in trace.iter() {
+            self.step_access(Pid(1), *access);
+        }
+        self.into_result()
+    }
+
+    /// Replays an interleaved multi-process schedule (as produced by
+    /// [`leap_workloads::interleave`]). How per-process state is sized is up
+    /// to the front-end's [`Simulator::prepare`]: the VMM gives each process
+    /// a cgroup-style limit from its own trace (the paper's per-application
+    /// limits), while the VFS constrains one shared cache budget by the
+    /// combined working set.
+    fn run_multi(mut self, traces: &[AccessTrace], schedule: &[InterleavedStep]) -> RunResult {
+        self.prepare(traces);
+        for step in schedule {
+            self.step_access(Pid(step.process as u32 + 1), step.access);
+        }
+        self.into_result()
+    }
+
+    /// Wraps this simulator in an observable [`Session`].
+    fn session<'obs>(self) -> Session<'obs, Self> {
+        Session::new(self)
+    }
+}
+
+/// Drives a [`Simulator`] step by step, fanning every [`FaultEvent`] out to
+/// the attached [`Observer`]s.
+///
+/// # Examples
+///
+/// ```
+/// use leap::prelude::*;
+/// use leap_sim_core::units::MIB;
+///
+/// let trace = leap_workloads::stride_trace(4 * MIB, 10, 1);
+/// let sim = SimConfig::builder().seed(7).build_vmm().unwrap();
+/// let mut remote = HistogramObserver::remote_accesses();
+/// let result = sim
+///     .session()
+///     .observe(&mut remote)
+///     .run(&trace);
+/// // The stream reproduces the batch histogram exactly.
+/// assert_eq!(
+///     remote.histogram().len(),
+///     result.remote_access_latency.len()
+/// );
+/// ```
+pub struct Session<'obs, S> {
+    sim: S,
+    observers: Vec<&'obs mut dyn Observer>,
+    seq_check: u64,
+}
+
+impl<'obs, S: Simulator> Session<'obs, S> {
+    /// Wraps a simulator.
+    pub fn new(sim: S) -> Self {
+        Session {
+            sim,
+            observers: Vec::new(),
+            seq_check: 0,
+        }
+    }
+
+    /// Attaches an observer (chainable).
+    pub fn observe(mut self, observer: &'obs mut dyn Observer) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// The wrapped simulator.
+    pub fn simulator(&self) -> &S {
+        &self.sim
+    }
+
+    /// Sizes per-process state for the given traces (see
+    /// [`Simulator::prepare`]).
+    pub fn prepare(&mut self, traces: &[AccessTrace]) {
+        self.sim.prepare(traces);
+    }
+
+    /// Executes one access and notifies the observers.
+    pub fn step(&mut self, pid: Pid, access: Access) -> FaultEvent {
+        let event = self.sim.step_access(pid, access);
+        debug_assert_eq!(event.seq, self.seq_check, "simulators emit dense seqs");
+        self.seq_check = event.seq + 1;
+        for observer in &mut self.observers {
+            observer.on_event(&event);
+        }
+        event
+    }
+
+    /// Finishes the run, notifies the observers, and returns the result.
+    pub fn finish(self) -> RunResult {
+        let result = self.sim.into_result();
+        let mut observers = self.observers;
+        for observer in &mut observers {
+            observer.on_complete(&result);
+        }
+        result
+    }
+
+    /// Streamed equivalent of [`Simulator::run`]: numerically identical
+    /// result, with every access also fanned out to the observers.
+    pub fn run(mut self, trace: &AccessTrace) -> RunResult {
+        self.prepare(std::slice::from_ref(trace));
+        for access in trace.iter() {
+            self.step(Pid(1), *access);
+        }
+        self.finish()
+    }
+
+    /// Streamed equivalent of `run` preceded by an unmetered population pass
+    /// (see [`Simulator::prepopulate`]); the population phase is not
+    /// observed, matching how the batch API excludes it from metrics.
+    pub fn run_prepopulated(mut self, trace: &AccessTrace) -> RunResult {
+        self.prepare(std::slice::from_ref(trace));
+        self.sim.prepopulate(Pid(1), trace);
+        for access in trace.iter() {
+            self.step(Pid(1), *access);
+        }
+        self.finish()
+    }
+
+    /// Streamed equivalent of [`Simulator::run_multi`].
+    pub fn run_multi(mut self, traces: &[AccessTrace], schedule: &[InterleavedStep]) -> RunResult {
+        self.prepare(traces);
+        for step in schedule {
+            self.step(Pid(step.process as u32 + 1), step.access);
+        }
+        self.finish()
+    }
+}
+
+/// An [`Observer`] that accumulates event latencies into a
+/// [`LatencyHistogram`], filtered by outcome.
+#[derive(Debug, Default)]
+pub struct HistogramObserver {
+    histogram: LatencyHistogram,
+    remote_only: bool,
+    events: u64,
+}
+
+impl HistogramObserver {
+    /// Collects every access's latency.
+    pub fn all_accesses() -> Self {
+        HistogramObserver::default()
+    }
+
+    /// Collects remote page accesses only (cache hits, remote fetches, and
+    /// VFS buffered writes — exactly what `RunResult::remote_access_latency`
+    /// records).
+    pub fn remote_accesses() -> Self {
+        HistogramObserver {
+            remote_only: true,
+            ..HistogramObserver::default()
+        }
+    }
+
+    /// The accumulated histogram.
+    pub fn histogram(&mut self) -> &mut LatencyHistogram {
+        &mut self.histogram
+    }
+
+    /// Number of events that matched the filter.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl Observer for HistogramObserver {
+    fn on_event(&mut self, event: &FaultEvent) {
+        if self.remote_only && !event.outcome.is_remote() {
+            return;
+        }
+        self.events += 1;
+        self.histogram.record(event.latency);
+    }
+}
+
+/// An [`Observer`] counting outcomes, for quick stream-level sanity checks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Resident-page accesses.
+    pub local_hits: u64,
+    /// Demand-zero minor faults.
+    pub minor_faults: u64,
+    /// Remote accesses served from the cache.
+    pub cache_hits: u64,
+    /// Remote accesses that traversed the data path.
+    pub remote_fetches: u64,
+    /// Buffered VFS writes.
+    pub buffered_writes: u64,
+    /// Total prefetch candidates issued.
+    pub prefetches_issued: u64,
+}
+
+impl Observer for OutcomeCounts {
+    fn on_event(&mut self, event: &FaultEvent) {
+        match event.outcome {
+            AccessOutcome::LocalHit => self.local_hits += 1,
+            AccessOutcome::MinorFault => self.minor_faults += 1,
+            AccessOutcome::CacheHit { .. } => self.cache_hits += 1,
+            AccessOutcome::RemoteFetch => self.remote_fetches += 1,
+            AccessOutcome::BufferedWrite => self.buffered_writes += 1,
+        }
+        self.prefetches_issued += event.prefetches_issued as u64;
+    }
+}

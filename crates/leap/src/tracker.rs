@@ -6,35 +6,19 @@
 //! the single shared swap-in stream. [`PageAccessTracker`] models both modes:
 //! with isolation every process gets its own prefetcher instance; without it
 //! all processes share one.
+//!
+//! Prefetcher instances come from a [`PrefetcherFactory`], so any algorithm
+//! registered with the component registry — built-in or third-party — gets
+//! correct per-process isolation for free.
 
+use crate::components::{KindPrefetcherFactory, PrefetcherFactory};
+use crate::config::SimConfig;
 use leap_mem::Pid;
-use leap_prefetcher::{
-    LeapConfig, LeapPrefetcher, NextNLinePrefetcher, NoPrefetcher, PageAddr, PrefetchDecision,
-    Prefetcher, PrefetcherKind, ReadAheadPrefetcher, StridePrefetcher,
-};
+use leap_prefetcher::{PageAddr, PrefetchDecision, Prefetcher, PrefetcherKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Builds a prefetcher instance of the given kind.
-///
-/// `history_size` and `max_window` only affect the Leap prefetcher; the
-/// baselines use `max_window` as their aggressiveness bound.
-pub fn build_prefetcher(
-    kind: PrefetcherKind,
-    history_size: usize,
-    max_window: usize,
-) -> Box<dyn Prefetcher> {
-    match kind {
-        PrefetcherKind::None => Box::new(NoPrefetcher),
-        PrefetcherKind::NextNLine => Box::new(NextNLinePrefetcher::new(max_window.max(1))),
-        PrefetcherKind::Stride => Box::new(StridePrefetcher::new(max_window.max(1))),
-        PrefetcherKind::ReadAhead => Box::new(ReadAheadPrefetcher::new(max_window.max(1))),
-        PrefetcherKind::Leap => Box::new(LeapPrefetcher::new(LeapConfig {
-            history_size: history_size.max(1),
-            n_split: 4,
-            max_prefetch_window: max_window.max(1),
-        })),
-    }
-}
+pub use crate::components::build_prefetcher;
 
 /// Routes fault and hit notifications to per-process (or shared) prefetchers.
 ///
@@ -45,50 +29,58 @@ pub fn build_prefetcher(
 /// use leap_mem::Pid;
 /// use leap_prefetcher::{PageAddr, PrefetcherKind};
 ///
-/// let mut tracker = PageAccessTracker::new(PrefetcherKind::Leap, 32, 8, true);
+/// let mut tracker = PageAccessTracker::from_kind(PrefetcherKind::Leap, 32, 8, true);
 /// let decision = tracker.on_fault(Pid(1), PageAddr(100));
 /// assert!(decision.len() <= 8);
 /// ```
 #[derive(Debug)]
 pub struct PageAccessTracker {
-    kind: PrefetcherKind,
-    history_size: usize,
-    max_window: usize,
-    isolated: bool,
+    factory: Arc<dyn PrefetcherFactory>,
+    config: SimConfig,
     per_process: HashMap<Pid, Box<dyn Prefetcher>>,
     shared: Box<dyn Prefetcher>,
 }
 
 impl PageAccessTracker {
-    /// Creates a tracker.
+    /// Creates a tracker that builds prefetchers with `factory` under the
+    /// given configuration.
     ///
-    /// With `isolated == true` each process gets its own prefetcher state
-    /// (Leap's behaviour); otherwise a single shared prefetcher sees the
-    /// merged access stream (the kernel's behaviour).
-    pub fn new(
+    /// With `config.per_process_isolation` each process gets its own
+    /// prefetcher state (Leap's behaviour); otherwise a single shared
+    /// prefetcher sees the merged access stream (the kernel's behaviour).
+    pub fn new(factory: Arc<dyn PrefetcherFactory>, config: &SimConfig) -> Self {
+        PageAccessTracker {
+            shared: factory.build(config),
+            factory,
+            config: *config,
+            per_process: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor from a built-in [`PrefetcherKind`] (mostly
+    /// for tests and bare replay tools).
+    pub fn from_kind(
         kind: PrefetcherKind,
         history_size: usize,
         max_window: usize,
         isolated: bool,
     ) -> Self {
-        PageAccessTracker {
-            kind,
-            history_size,
-            max_window,
-            isolated,
-            per_process: HashMap::new(),
-            shared: build_prefetcher(kind, history_size, max_window),
-        }
+        let mut config = SimConfig::leap_defaults();
+        config.prefetcher = kind;
+        config.history_size = history_size;
+        config.max_prefetch_window = max_window;
+        config.per_process_isolation = isolated;
+        PageAccessTracker::new(Arc::new(KindPrefetcherFactory(kind)), &config)
     }
 
-    /// Which prefetching algorithm the tracker instantiates.
-    pub fn kind(&self) -> PrefetcherKind {
-        self.kind
+    /// Name of the prefetching algorithm the tracker instantiates.
+    pub fn prefetcher_name(&self) -> &'static str {
+        self.factory.name()
     }
 
     /// True if per-process isolation is active.
     pub fn is_isolated(&self) -> bool {
-        self.isolated
+        self.config.per_process_isolation
     }
 
     /// Number of per-process prefetcher instances created so far.
@@ -97,11 +89,11 @@ impl PageAccessTracker {
     }
 
     fn prefetcher_for(&mut self, pid: Pid) -> &mut Box<dyn Prefetcher> {
-        if self.isolated {
-            let (kind, history, window) = (self.kind, self.history_size, self.max_window);
+        if self.config.per_process_isolation {
+            let (factory, config) = (&self.factory, &self.config);
             self.per_process
                 .entry(pid)
-                .or_insert_with(|| build_prefetcher(kind, history, window))
+                .or_insert_with(|| factory.build(config))
         } else {
             &mut self.shared
         }
@@ -141,13 +133,13 @@ mod tests {
             PrefetcherKind::Leap,
         ] {
             let p = build_prefetcher(kind, 32, 8);
-            assert_eq!(p.kind(), kind);
+            assert_eq!(p.name(), kind.label());
         }
     }
 
     #[test]
     fn isolated_tracker_keeps_processes_apart() {
-        let mut tracker = PageAccessTracker::new(PrefetcherKind::Leap, 32, 8, true);
+        let mut tracker = PageAccessTracker::from_kind(PrefetcherKind::Leap, 32, 8, true);
         // Process 1 faults sequentially; process 2 faults randomly in between.
         let mut last_p1_decision = PrefetchDecision::none();
         for i in 0..64u64 {
@@ -166,7 +158,7 @@ mod tests {
 
     #[test]
     fn shared_tracker_mixes_streams() {
-        let mut tracker = PageAccessTracker::new(PrefetcherKind::Leap, 32, 8, false);
+        let mut tracker = PageAccessTracker::from_kind(PrefetcherKind::Leap, 32, 8, false);
         let mut last_p1_decision = PrefetchDecision::none();
         for i in 0..64u64 {
             last_p1_decision = tracker.on_fault(Pid(1), PageAddr(i));
@@ -184,7 +176,7 @@ mod tests {
 
     #[test]
     fn hits_are_routed_to_the_right_process() {
-        let mut tracker = PageAccessTracker::new(PrefetcherKind::Leap, 32, 8, true);
+        let mut tracker = PageAccessTracker::from_kind(PrefetcherKind::Leap, 32, 8, true);
         let _ = tracker.on_fault(Pid(1), PageAddr(10));
         tracker.on_prefetch_hit(Pid(1), PageAddr(11));
         // Hitting for an unknown process lazily creates its prefetcher.
@@ -194,7 +186,7 @@ mod tests {
 
     #[test]
     fn reset_clears_state() {
-        let mut tracker = PageAccessTracker::new(PrefetcherKind::Leap, 32, 8, true);
+        let mut tracker = PageAccessTracker::from_kind(PrefetcherKind::Leap, 32, 8, true);
         for i in 0..32u64 {
             let _ = tracker.on_fault(Pid(1), PageAddr(i));
         }
@@ -207,8 +199,29 @@ mod tests {
 
     #[test]
     fn accessors_report_configuration() {
-        let tracker = PageAccessTracker::new(PrefetcherKind::Stride, 32, 4, false);
-        assert_eq!(tracker.kind(), PrefetcherKind::Stride);
+        let tracker = PageAccessTracker::from_kind(PrefetcherKind::Stride, 32, 4, false);
+        assert_eq!(tracker.prefetcher_name(), PrefetcherKind::Stride.label());
         assert!(!tracker.is_isolated());
+    }
+
+    #[test]
+    fn custom_factories_get_isolation_too() {
+        #[derive(Debug)]
+        struct Fixed;
+        impl PrefetcherFactory for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn build(&self, _config: &SimConfig) -> Box<dyn Prefetcher> {
+                build_prefetcher(PrefetcherKind::NextNLine, 1, 2)
+            }
+        }
+        let mut config = SimConfig::leap_defaults();
+        config.per_process_isolation = true;
+        let mut tracker = PageAccessTracker::new(Arc::new(Fixed), &config);
+        let _ = tracker.on_fault(Pid(1), PageAddr(10));
+        let _ = tracker.on_fault(Pid(2), PageAddr(20));
+        assert_eq!(tracker.tracked_processes(), 2);
+        assert_eq!(tracker.prefetcher_name(), "fixed");
     }
 }

@@ -8,17 +8,20 @@
 //! this front-end for the Figure 2/7 "D-VFS" latency curves: 1 GB of remote
 //! writes followed by 1 GB of remote reads under Sequential and Stride-10
 //! patterns.
+//!
+//! Like the VMM front-end, all cross-cutting machinery lives in the shared
+//! engine core; this file models only the VFS cache budget and the
+//! read/buffered-write split.
 
-use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
+use crate::builder::SimSetup;
+use crate::config::SimConfig;
+use crate::engine::EngineCore;
 use crate::result::RunResult;
-use crate::tracker::PageAccessTracker;
-use leap_datapath::{DataPath, LeanDataPath, LegacyDataPath};
-use leap_eviction::{LazyReclaimer, PrefetchFifoLru};
-use leap_mem::{CacheOrigin, MemoryLimit, Pid, SwapCache, SwapSlot};
+use crate::session::{AccessOutcome, FaultEvent, Simulator};
+use leap_mem::{CacheOrigin, MemoryLimit, Pid, SwapSlot};
 use leap_prefetcher::PageAddr;
-use leap_remote::{HostAgent, HostAgentConfig, RemoteCluster};
 use leap_sim_core::units::PAGE_SIZE;
-use leap_sim_core::{DetRng, Nanos, SimClock};
+use leap_sim_core::Nanos;
 use leap_workloads::{Access, AccessTrace};
 
 /// Latency of a VFS cache hit (page already cached locally).
@@ -42,220 +45,170 @@ const BUFFERED_WRITE: Nanos = Nanos(900);
 /// ```
 #[derive(Debug)]
 pub struct VfsSimulator {
-    config: SimConfig,
-    clock: SimClock,
-    cache: SwapCache,
+    engine: EngineCore,
     cache_budget: MemoryLimit,
-    tracker: PageAccessTracker,
-    data_path: Box<dyn DataPath>,
-    lazy: LazyReclaimer,
-    eager: PrefetchFifoLru,
-    result: RunResult,
-    core_cursor: usize,
-    rng: DetRng,
 }
 
 impl VfsSimulator {
-    /// Creates a VFS simulator for the given configuration.
-    pub fn new(config: SimConfig) -> Self {
-        let mut rng = DetRng::seed_from(config.seed ^ 0xF5);
-        let data_path: Box<dyn DataPath> = match config.data_path {
-            DataPathKind::LinuxDefault => Box::new(LegacyDataPath::new(config.backend, rng.fork())),
-            DataPathKind::Leap => {
-                let agent = HostAgent::new(
-                    HostAgentConfig {
-                        cores: config.cores,
-                        backend: config.backend,
-                        ..HostAgentConfig::default()
-                    },
-                    RemoteCluster::homogeneous(4, 256),
-                    rng.fork(),
-                );
-                Box::new(LeanDataPath::new(agent, rng.fork()))
-            }
-        };
-        VfsSimulator {
-            clock: SimClock::new(),
-            cache: SwapCache::new(config.prefetch_cache_pages),
-            cache_budget: MemoryLimit::from_pages(u64::MAX / 2),
-            tracker: PageAccessTracker::new(
-                config.prefetcher,
-                config.history_size,
-                config.max_prefetch_window,
-                config.per_process_isolation,
-            ),
-            data_path,
-            lazy: LazyReclaimer::with_defaults(),
-            eager: PrefetchFifoLru::new(),
-            result: RunResult::default(),
-            core_cursor: 0,
-            rng,
-            config,
-        }
-    }
-
-    /// The configuration this simulator was built with.
-    pub fn config(&self) -> &SimConfig {
-        &self.config
-    }
-
-    /// Replays a trace of file reads/writes against the remote file.
+    /// Creates a VFS simulator for the given configuration with the built-in
+    /// components its enums select.
     ///
-    /// The local VFS cache is limited to `memory_fraction` of the trace's
-    /// working set, matching how the paper constrains the VMM experiments.
-    pub fn run(mut self, trace: &AccessTrace) -> RunResult {
-        self.cache_budget = MemoryLimit::fraction_of(
-            trace.working_set_pages() * PAGE_SIZE,
-            self.config.memory_fraction,
-        );
-        self.result.workload = format!("vfs-{}", trace.name());
-        self.result.config_label = self.config.label();
-        // The paper's D-VFS microbenchmark writes the region remotely first
-        // and then reads it back; model that by treating the first access to
-        // each page as the remote write.
-        for access in trace.iter() {
-            self.step(*access);
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`SimConfig::validate`]); use
+    /// [`SimConfig::builder`] to surface the error instead.
+    pub fn new(config: SimConfig) -> Self {
+        let setup = SimSetup::from_config(config).expect("invalid SimConfig");
+        VfsSimulator::from_setup(&setup)
+    }
+
+    /// Creates a simulator from a resolved setup (possibly carrying custom
+    /// registry components).
+    pub fn from_setup(setup: &SimSetup) -> Self {
+        VfsSimulator {
+            engine: EngineCore::new(setup, 0xF5),
+            cache_budget: MemoryLimit::from_pages(u64::MAX / 2),
         }
-        self.result.completion_time = self.clock.now();
-        self.result
-    }
-
-    fn next_core(&mut self) -> usize {
-        self.core_cursor = (self.core_cursor + 1) % self.config.cores.max(1);
-        self.core_cursor
-    }
-
-    fn step(&mut self, access: Access) {
-        self.clock.advance(access.compute);
-        self.result.total_accesses += 1;
-        let latency = if access.is_write {
-            self.buffered_write(access.page)
-        } else {
-            self.read(access.page)
-        };
-        self.clock.advance(latency);
-        self.result.access_latency.record(latency);
-        self.result.remote_access_latency.record(latency);
-        self.result.remote_accesses += 1;
     }
 
     /// A buffered write: lands in the cache and is written back off the
     /// critical path.
-    fn buffered_write(&mut self, page: u64) -> Nanos {
-        let now = self.clock.now();
+    fn buffered_write(&mut self, pid: Pid, page: u64) -> Nanos {
+        let now = self.engine.clock.now();
         let slot = SwapSlot(page);
         self.ensure_cache_room();
-        if self.cache.insert(slot, Pid(1), CacheOrigin::Demand, now) {
-            self.lazy.on_insert(slot);
+        if self
+            .engine
+            .cache
+            .insert(slot, pid, CacheOrigin::Demand, now)
+        {
+            self.engine.evictor.on_insert(slot, CacheOrigin::Demand);
         }
-        let core = self.next_core();
-        let _ = self.data_path.write_page(page, core, now);
+        let _ = self.engine.write_remote(page);
         BUFFERED_WRITE
     }
 
-    /// A file read: cache hit or remote fetch plus prefetching.
-    fn read(&mut self, page: u64) -> Nanos {
-        let now = self.clock.now();
+    /// A file read: cache hit or remote fetch plus prefetching. Returns the
+    /// latency, outcome, and prefetches issued.
+    fn read(&mut self, pid: Pid, page: u64) -> (Nanos, AccessOutcome, u32) {
+        let now = self.engine.clock.now();
         let slot = SwapSlot(page);
-        self.result.prefetch_stats.record_request();
+        self.engine.result.prefetch_stats.record_request();
 
-        if let Some(entry) = self.cache.record_hit(slot, now) {
-            if entry.origin == CacheOrigin::Prefetch {
-                self.result.cache_stats.record_prefetch_hit();
-                self.result
-                    .prefetch_stats
-                    .record_prefetch_hit(now.saturating_sub(entry.inserted_at));
-                self.tracker.on_prefetch_hit(Pid(1), PageAddr(page));
-                if self.config.eviction == EvictionPolicy::Eager {
-                    self.eager.on_hit(slot, &mut self.cache);
-                    self.lazy.on_remove(slot);
-                    self.cache_budget.uncharge(1);
-                } else {
-                    self.lazy.on_hit(slot);
-                }
-            } else {
-                self.result.cache_stats.record_demand_hit();
-                self.lazy.on_hit(slot);
-            }
-            return VFS_CACHE_HIT;
+        if let Some(entry) = self.engine.cache.record_hit(slot, now) {
+            self.engine.note_cache_hit(pid, slot, &entry);
+            return (
+                VFS_CACHE_HIT,
+                AccessOutcome::CacheHit {
+                    origin: entry.origin,
+                },
+                0,
+            );
         }
 
-        self.result.cache_stats.record_miss();
-        let core = self.next_core();
-        let breakdown = self.data_path.read_page(page, core, now);
+        self.engine.result.cache_stats.record_miss();
+        let breakdown = self.engine.read_remote(page);
         let latency = VFS_CACHE_LOOKUP.saturating_add(breakdown.total());
 
         // Cache the demand-fetched page.
         self.ensure_cache_room();
-        if self.cache.insert(slot, Pid(1), CacheOrigin::Demand, now) {
-            self.lazy.on_insert(slot);
+        let now = self.engine.clock.now();
+        if self
+            .engine
+            .cache
+            .insert(slot, pid, CacheOrigin::Demand, now)
+        {
+            self.engine.evictor.on_insert(slot, CacheOrigin::Demand);
         }
 
         // Prefetch neighbouring file pages.
-        let decision = self.tracker.on_fault(Pid(1), PageAddr(page));
+        let decision = self.engine.tracker.on_fault(pid, PageAddr(page));
+        let mut issued = 0u32;
         for candidate in &decision.prefetch {
             let cslot = SwapSlot(candidate.0);
-            if self.cache.contains(cslot) {
+            if self.engine.cache.contains(cslot) {
                 continue;
             }
             self.ensure_cache_room();
-            let core = self.next_core();
-            let _ = self.data_path.read_page(candidate.0, core, now);
-            if self.cache.insert(cslot, Pid(1), CacheOrigin::Prefetch, now) {
-                self.result.cache_stats.record_add(1);
-                self.result.prefetch_stats.record_prefetched(1);
-                self.eager.on_prefetch_insert(cslot);
-                self.lazy.on_insert(cslot);
+            let _ = self.engine.read_remote(candidate.0);
+            if self.engine.insert_prefetched(cslot, pid) {
+                issued += 1;
             }
         }
-        latency
+        (latency, AccessOutcome::RemoteFetch, issued)
     }
 
     /// Frees cache space when the local budget or the configured prefetch
     /// cache capacity is exhausted.
     fn ensure_cache_room(&mut self) {
-        let over_budget = self.cache.len() >= self.cache_budget.limit_pages();
-        if !self.cache.is_full() && !over_budget {
+        let over_budget = self.engine.cache.len() >= self.cache_budget.limit_pages();
+        if !self.engine.cache.is_full() && !over_budget {
             return;
         }
-        let now = self.clock.now();
-        match self.config.eviction {
-            EvictionPolicy::Eager => {
-                let victims = self.eager.reclaim_fifo(&mut self.cache, 1);
-                for v in &victims {
-                    self.lazy.on_remove(*v);
-                    self.result.cache_stats.record_eviction(true);
-                }
-                if victims.is_empty() {
-                    // No unconsumed prefetches: fall back to an LRU reclaim.
-                    let outcome = self.lazy.reclaim(&mut self.cache, 1, now);
-                    for _ in &outcome.freed {
-                        self.result.cache_stats.record_eviction(false);
-                    }
-                }
-            }
-            EvictionPolicy::Lazy => {
-                let outcome = self.lazy.reclaim(&mut self.cache, 1, now);
-                for wait in &outcome.post_hit_wait {
-                    self.result.eviction_wait.record(*wait);
-                }
-                for _ in 0..outcome.freed_unused_prefetches {
-                    self.result.cache_stats.record_eviction(true);
-                }
-                for _ in 0..(outcome.freed.len() as u64 - outcome.freed_unused_prefetches) {
-                    self.result.cache_stats.record_eviction(false);
-                }
-            }
-        }
-        let _ = self.rng.next_u64();
+        let now = self.engine.clock.now();
+        let report = self
+            .engine
+            .evictor
+            .make_space(&mut self.engine.cache, 1, now);
+        self.engine.record_eviction_report(&report);
+    }
+}
+
+impl Simulator for VfsSimulator {
+    fn config(&self) -> &SimConfig {
+        &self.engine.config
+    }
+
+    fn label(&self) -> &str {
+        &self.engine.label
+    }
+
+    fn prepare(&mut self, traces: &[AccessTrace]) {
+        // The local VFS cache is limited to `memory_fraction` of the total
+        // working set, matching how the paper constrains the VMM experiments.
+        let total_ws: u64 = traces.iter().map(|t| t.working_set_pages()).sum();
+        self.cache_budget =
+            MemoryLimit::fraction_of(total_ws * PAGE_SIZE, self.engine.config.memory_fraction);
+        self.engine
+            .stamp_run(format!("vfs-{}", EngineCore::workload_name(traces)));
+    }
+
+    fn step_access(&mut self, pid: Pid, access: Access) -> FaultEvent {
+        self.engine.begin_access(&access);
+        let (latency, outcome, prefetches_issued) = if access.is_write {
+            (
+                self.buffered_write(pid, access.page),
+                AccessOutcome::BufferedWrite,
+                0,
+            )
+        } else {
+            self.read(pid, access.page)
+        };
+        // The paper's D-VFS curves count every file access as a remote
+        // access (the file itself lives remotely).
+        self.engine.result.remote_accesses += 1;
+        self.engine
+            .complete_access(pid, access, outcome, latency, prefetches_issued)
+    }
+
+    fn into_result(self) -> RunResult {
+        self.engine.into_result()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EvictionPolicy;
     use leap_sim_core::units::MIB;
     use leap_workloads::{sequential_trace, stride_trace};
+
+    fn leap_at(fraction: f64) -> SimConfig {
+        SimConfig::builder()
+            .memory_fraction(fraction)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn sequential_reads_mostly_hit_after_warmup() {
@@ -302,20 +255,19 @@ mod tests {
         let mut accesses: Vec<Access> = (0..64u64).map(|p| Access::write(p, Nanos::ZERO)).collect();
         accesses.extend((0..64u64).map(|p| Access::read(p, Nanos::ZERO)));
         let trace = AccessTrace::new("write-read", accesses);
-        let result =
-            VfsSimulator::new(SimConfig::leap_defaults().with_memory_fraction(1.0)).run(&trace);
+        let result = VfsSimulator::new(leap_at(1.0)).run(&trace);
         assert!(result.cache_stats.demand_hits() >= 32);
     }
 
     #[test]
     fn constrained_cache_still_completes() {
         let trace = stride_trace(4 * MIB, 10, 1);
-        let result = VfsSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.25)
-                .with_prefetch_cache_pages(32),
-        )
-        .run(&trace);
+        let config = SimConfig::builder()
+            .memory_fraction(0.25)
+            .prefetch_cache_pages(32)
+            .build()
+            .unwrap();
+        let result = VfsSimulator::new(config).run(&trace);
         assert_eq!(result.total_accesses, 1024);
         assert!(result.cache_stats.evictions() > 0);
     }
@@ -323,9 +275,22 @@ mod tests {
     #[test]
     fn deterministic_for_a_seed() {
         let trace = stride_trace(2 * MIB, 10, 1);
-        let a = VfsSimulator::new(SimConfig::leap_defaults().with_seed(5)).run(&trace);
-        let b = VfsSimulator::new(SimConfig::leap_defaults().with_seed(5)).run(&trace);
+        let config = SimConfig::builder().seed(5).build().unwrap();
+        let a = VfsSimulator::new(config).run(&trace);
+        let b = VfsSimulator::new(config).run(&trace);
         assert_eq!(a.completion_time, b.completion_time);
         assert_eq!(a.cache_stats, b.cache_stats);
+    }
+
+    #[test]
+    fn lazy_vfs_still_works() {
+        let trace = stride_trace(2 * MIB, 10, 1);
+        let config = SimConfig::builder()
+            .eviction(EvictionPolicy::Lazy)
+            .memory_fraction(0.5)
+            .build()
+            .unwrap();
+        let result = VfsSimulator::new(config).run(&trace);
+        assert_eq!(result.total_accesses, trace.len() as u64);
     }
 }

@@ -1,11 +1,13 @@
-//! The disaggregated-VMM fault engine.
+//! The disaggregated-VMM front-end.
 //!
 //! [`VmmSimulator`] replays page-granular access traces against a model of
 //! the Linux paging machinery backed by remote memory (or a local disk):
 //! per-process page tables, a cgroup-style resident-memory limit, the shared
 //! swap space, the swap/prefetch cache, a prefetcher, an eviction policy, and
-//! one of the two data paths. It produces the latency distributions, cache
-//! counters, and completion times the paper's evaluation reports.
+//! one of the data paths. The cross-cutting machinery (clock, cache,
+//! tracker, eviction bookkeeping, result accumulation) lives in the shared
+//! engine core; this file models only what is VMM-specific — page tables,
+//! the swap space, and cgroup limits.
 //!
 //! ## What happens on an access
 //!
@@ -24,19 +26,15 @@
 //!    (write-back modelled asynchronously) and, under the lazy policy, the
 //!    reclaimer's scan time is charged as allocation wait.
 
-use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
+use crate::builder::SimSetup;
+use crate::config::SimConfig;
+use crate::engine::EngineCore;
 use crate::result::RunResult;
-use crate::tracker::PageAccessTracker;
-use leap_datapath::{DataPath, LeanDataPath, LegacyDataPath, Stage};
-use leap_eviction::{LazyReclaimer, PrefetchFifoLru};
-use leap_mem::{
-    CacheOrigin, FramePool, LruList, MemoryLimit, PageState, PageTable, Pid, SwapCache, SwapSlot,
-    SwapSpace, VirtPage,
-};
+use crate::session::{AccessOutcome, FaultEvent, Simulator};
+use leap_mem::{FramePool, LruList, MemoryLimit, PageState, PageTable, Pid, SwapSpace, VirtPage};
 use leap_prefetcher::PageAddr;
-use leap_remote::{HostAgent, HostAgentConfig, RemoteCluster};
 use leap_sim_core::units::PAGE_SIZE;
-use leap_sim_core::{DetRng, Nanos, SimClock};
+use leap_sim_core::Nanos;
 use leap_workloads::{Access, AccessTrace};
 use std::collections::HashMap;
 
@@ -52,10 +50,6 @@ const FAST_MAP: Nanos = Nanos(400);
 /// Fixed software cost of swapping one page out (allocating the slot,
 /// unmapping, queueing the write-back, which itself completes asynchronously).
 const SWAP_OUT_OVERHEAD: Nanos = Nanos(1_000);
-/// Lazy reclaim is triggered when the swap cache grows beyond this many
-/// pages over the number of recently useful entries (a stand-in for the
-/// kernel's watermarks).
-const LAZY_CACHE_HIGH_WATERMARK: u64 = 4_096;
 
 /// Per-process paging state.
 #[derive(Debug)]
@@ -67,89 +61,46 @@ struct ProcessState {
 
 /// The disaggregated-VMM simulator.
 ///
-/// See the crate-level example for typical usage; [`VmmSimulator::run`]
-/// replays a single-process trace and [`VmmSimulator::run_multi`] replays an
-/// interleaved multi-process schedule.
+/// See the crate-level example for typical usage; drive it through the
+/// [`Simulator`] trait (`run`, `run_multi`), the inherent
+/// [`VmmSimulator::run_prepopulated`], or stepwise through a
+/// [`crate::Session`].
 #[derive(Debug)]
 pub struct VmmSimulator {
-    config: SimConfig,
-    clock: SimClock,
+    engine: EngineCore,
     processes: HashMap<Pid, ProcessState>,
     frames: FramePool,
     swap: SwapSpace,
-    cache: SwapCache,
-    tracker: PageAccessTracker,
-    data_path: Box<dyn DataPath>,
-    lazy: LazyReclaimer,
-    eager: PrefetchFifoLru,
-    result: RunResult,
-    core_cursor: usize,
 }
 
 impl VmmSimulator {
-    /// Creates a simulator for the given configuration.
+    /// Creates a simulator for the given configuration with the built-in
+    /// components its enums select.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`SimConfig::validate`]); use
+    /// [`SimConfig::builder`] to surface the error instead.
     pub fn new(config: SimConfig) -> Self {
-        let mut rng = DetRng::seed_from(config.seed);
-        let data_path: Box<dyn DataPath> = match config.data_path {
-            DataPathKind::LinuxDefault => Box::new(LegacyDataPath::new(config.backend, rng.fork())),
-            DataPathKind::Leap => {
-                let agent = HostAgent::new(
-                    HostAgentConfig {
-                        cores: config.cores,
-                        backend: config.backend,
-                        ..HostAgentConfig::default()
-                    },
-                    RemoteCluster::homogeneous(4, 256),
-                    rng.fork(),
-                );
-                Box::new(LeanDataPath::new(agent, rng.fork()))
-            }
-        };
+        let setup = SimSetup::from_config(config).expect("invalid SimConfig");
+        VmmSimulator::from_setup(&setup)
+    }
+
+    /// Creates a simulator from a resolved setup (possibly carrying custom
+    /// registry components).
+    pub fn from_setup(setup: &SimSetup) -> Self {
         VmmSimulator {
-            clock: SimClock::new(),
+            engine: EngineCore::new(setup, 0),
             processes: HashMap::new(),
             // The frame pool is sized lazily per-process via MemoryLimit; the
             // global pool just needs to be large enough to never be the
             // binding constraint.
             frames: FramePool::new(u64::MAX / 2),
             swap: SwapSpace::new(u64::MAX / 2),
-            cache: SwapCache::new(config.prefetch_cache_pages),
-            tracker: PageAccessTracker::new(
-                config.prefetcher,
-                config.history_size,
-                config.max_prefetch_window,
-                config.per_process_isolation,
-            ),
-            data_path,
-            lazy: LazyReclaimer::with_defaults(),
-            eager: PrefetchFifoLru::new(),
-            result: RunResult::default(),
-            core_cursor: 0,
-            config,
         }
     }
 
-    /// The configuration this simulator was built with.
-    pub fn config(&self) -> &SimConfig {
-        &self.config
-    }
-
-    /// Replays a single-process trace to completion and returns the results.
-    ///
-    /// The process's memory limit is `memory_fraction` of the trace's
-    /// working set.
-    pub fn run(mut self, trace: &AccessTrace) -> RunResult {
-        let pid = Pid(1);
-        self.register_process(pid, trace.working_set_pages());
-        self.result.workload = trace.name().to_string();
-        self.result.config_label = self.config.label();
-        for access in trace.iter() {
-            self.step(pid, *access);
-        }
-        self.finish()
-    }
-
-    /// Like [`VmmSimulator::run`], but first touches the trace's working set
+    /// Like [`Simulator::run`], but first touches the trace's working set
     /// once in virtual-address order without recording any metrics.
     ///
     /// This models the paper's microbenchmark methodology: the application
@@ -157,75 +108,19 @@ impl VmmSimulator {
     /// also fixes the swap-slot layout to follow the address order), and only
     /// the subsequent pattern accesses are measured.
     pub fn run_prepopulated(mut self, trace: &AccessTrace) -> RunResult {
-        let pid = Pid(1);
-        self.register_process(pid, trace.working_set_pages());
-        self.result.workload = trace.name().to_string();
-        self.result.config_label = self.config.label();
-        self.prepopulate(pid, trace);
+        self.prepare(std::slice::from_ref(trace));
+        self.prepopulate(Pid(1), trace);
         for access in trace.iter() {
-            self.step(pid, *access);
+            self.step_access(Pid(1), *access);
         }
-        self.finish()
-    }
-
-    /// Touches every distinct page of `trace` once, in address order,
-    /// without recording metrics (the allocation/initialisation phase).
-    fn prepopulate(&mut self, pid: Pid, trace: &AccessTrace) {
-        let mut pages: Vec<u64> = trace.iter().map(|a| a.page).collect();
-        pages.sort_unstable();
-        pages.dedup();
-        for page in pages {
-            let vp = VirtPage(page);
-            let already_resident = {
-                let process = self.processes.get(&pid).expect("registered process");
-                process.page_table.is_resident(vp)
-            };
-            if already_resident {
-                continue;
-            }
-            let _ = self.make_room_silent(pid, 1);
-            self.map_in(pid, vp, true);
-        }
-        // Prepopulation metrics (allocation waits recorded by make_room) do
-        // not belong in the measured run.
-        self.result.allocation_wait = Default::default();
-        self.result.pages_swapped_out = 0;
-    }
-
-    /// `make_room` without charging allocation-wait metrics (used only by
-    /// prepopulation).
-    fn make_room_silent(&mut self, pid: Pid, pages: u64) -> Nanos {
-        self.make_room(pid, pages)
-    }
-
-    /// Replays an interleaved multi-process schedule (`(process index,
-    /// access)` pairs, as produced by [`leap_workloads::interleave`]).
-    ///
-    /// Each process's memory limit is `memory_fraction` of its own working
-    /// set, mirroring the paper's per-application cgroup limits.
-    pub fn run_multi(
-        mut self,
-        traces: &[AccessTrace],
-        schedule: &[leap_workloads::multi::InterleavedStep],
-    ) -> RunResult {
-        for (i, trace) in traces.iter().enumerate() {
-            self.register_process(Pid(i as u32 + 1), trace.working_set_pages());
-        }
-        self.result.workload = traces
-            .iter()
-            .map(|t| t.name().to_string())
-            .collect::<Vec<_>>()
-            .join("+");
-        self.result.config_label = self.config.label();
-        for step in schedule {
-            self.step(Pid(step.process as u32 + 1), step.access);
-        }
-        self.finish()
+        Simulator::into_result(self)
     }
 
     fn register_process(&mut self, pid: Pid, working_set_pages: u64) {
-        let limit =
-            MemoryLimit::fraction_of(working_set_pages * PAGE_SIZE, self.config.memory_fraction);
+        let limit = MemoryLimit::fraction_of(
+            working_set_pages * PAGE_SIZE,
+            self.engine.config.memory_fraction,
+        );
         self.processes.insert(
             pid,
             ProcessState {
@@ -236,111 +131,44 @@ impl VmmSimulator {
         );
     }
 
-    fn finish(mut self) -> RunResult {
-        self.result.completion_time = self.clock.now();
-        self.result
-    }
-
-    /// Picks the CPU core the next request is issued from (round-robin, as a
-    /// stand-in for the scheduler spreading threads over cores).
-    fn next_core(&mut self) -> usize {
-        self.core_cursor = (self.core_cursor + 1) % self.config.cores.max(1);
-        self.core_cursor
-    }
-
-    /// Executes one access and charges its latency to the clock.
-    fn step(&mut self, pid: Pid, access: Access) {
-        self.clock.advance(access.compute);
-        self.result.total_accesses += 1;
-
-        let page = VirtPage(access.page);
-        let state = {
-            let process = self
-                .processes
-                .get(&pid)
-                .unwrap_or_else(|| panic!("process {pid} not registered"));
-            process.page_table.lookup(page)
-        };
-
-        let latency = match state {
-            PageState::Resident(_) => {
-                let process = self.processes.get_mut(&pid).expect("checked above");
-                process.resident_lru.touch(&page);
-                LOCAL_ACCESS
-            }
-            PageState::Untouched => {
-                self.result.first_touch_faults += 1;
-                let alloc_wait = self.make_room(pid, 1);
-                self.map_in(pid, page, access.is_write);
-                MINOR_FAULT.saturating_add(alloc_wait)
-            }
-            PageState::Swapped(slot) => self.remote_access(pid, page, slot, access.is_write),
-        };
-
-        self.clock.advance(latency);
-        self.result.access_latency.record(latency);
-        if matches!(state, PageState::Swapped(_)) {
-            self.result.remote_access_latency.record(latency);
-        }
-    }
-
-    /// Handles an access to a swapped-out page (the remote access path).
-    fn remote_access(&mut self, pid: Pid, page: VirtPage, slot: SwapSlot, is_write: bool) -> Nanos {
-        self.result.remote_accesses += 1;
-        self.result.prefetch_stats.record_request();
-        let now = self.clock.now();
+    /// Handles an access to a swapped-out page (the remote page access
+    /// path). Returns the charged latency, the outcome, and how many
+    /// prefetches were issued.
+    fn remote_access(
+        &mut self,
+        pid: Pid,
+        page: VirtPage,
+        slot: leap_mem::SwapSlot,
+        is_write: bool,
+    ) -> (Nanos, AccessOutcome, u32) {
+        self.engine.result.remote_accesses += 1;
+        self.engine.result.prefetch_stats.record_request();
+        let now = self.engine.clock.now();
 
         let mut latency;
-        let mut cache_hit = false;
-        if let Some(entry) = self.cache.record_hit(slot, now) {
+        let mut prefetches_issued = 0u32;
+        let outcome;
+        let cache_hit = if let Some(entry) = self.engine.cache.record_hit(slot, now) {
             // Swap-cache hit: the page's data is already in local DRAM, so
             // the access costs the cache lookup plus a fast page-table map —
             // sub-µs, as the paper reports for Leap up to the 85th percentile.
-            cache_hit = true;
             latency = CACHE_LOOKUP.saturating_add(FAST_MAP);
-            match entry.origin {
-                CacheOrigin::Prefetch => {
-                    self.result.cache_stats.record_prefetch_hit();
-                    self.result
-                        .prefetch_stats
-                        .record_prefetch_hit(now.saturating_sub(entry.inserted_at));
-                    self.tracker.on_prefetch_hit(pid, PageAddr(slot.0));
-                }
-                CacheOrigin::Demand => {
-                    self.result.cache_stats.record_demand_hit();
-                }
-            }
-            // Consume the cache entry according to the eviction policy.
-            match self.config.eviction {
-                EvictionPolicy::Eager => {
-                    if !self.eager.on_hit(slot, &mut self.cache) {
-                        // Demand entries are not on the prefetch FIFO; free
-                        // them directly, which is still eager behaviour.
-                        self.cache.remove(slot);
-                    }
-                    self.lazy.on_remove(slot);
-                }
-                EvictionPolicy::Lazy => {
-                    // The page stays in the cache until the background
-                    // reclaimer gets to it (Figure 4's wasted residency).
-                    self.lazy.on_hit(slot);
-                }
-            }
+            outcome = AccessOutcome::CacheHit {
+                origin: entry.origin,
+            };
+            self.engine.note_cache_hit(pid, slot, &entry);
+            true
         } else {
-            // Swap-cache miss: full data-path traversal.
-            self.result.cache_stats.record_miss();
-            let core = self.next_core();
-            let breakdown = self.data_path.read_page(slot.0, core, now);
+            // Swap-cache miss: full data-path traversal, then consult the
+            // prefetcher and issue its candidates asynchronously.
+            self.engine.result.cache_stats.record_miss();
+            let breakdown = self.engine.read_remote(slot.0);
             latency = breakdown.total();
-            // Consult the prefetcher and issue its candidates asynchronously.
-            let decision = self.tracker.on_fault(pid, PageAddr(slot.0));
-            if self.config.data_path == DataPathKind::Leap {
-                // The lean path already charges its own prefetcher stage; the
-                // legacy path has no equivalent hook, so nothing extra here.
-                let _ = breakdown.stage_total(Stage::Prefetcher);
-            }
-            self.issue_prefetches(pid, &decision.prefetch);
-        }
+            let decision = self.engine.tracker.on_fault(pid, PageAddr(slot.0));
+            prefetches_issued = self.issue_prefetches(&decision.prefetch);
+            outcome = AccessOutcome::RemoteFetch;
+            false
+        };
 
         // The faulting page becomes resident. On a cache hit the data is
         // already in a local frame, so the cgroup charge is rebalanced by the
@@ -355,29 +183,27 @@ impl VmmSimulator {
         self.swap.free(slot);
         self.map_in(pid, page, is_write);
 
-        // Under the lazy policy, run the background reclaimer when the cache
-        // has grown past its watermark; its cost is *not* charged to this
-        // access (it is a background thread) but the wait times it observes
-        // feed Figure 4.
-        if self.config.eviction == EvictionPolicy::Lazy {
-            self.maybe_run_lazy_reclaim();
-        }
+        // Give the policy's background reclaimer (kswapd under the lazy
+        // policy) a chance to run; its cost is *not* charged to this access
+        // (it is a background thread) but the wait times it observes feed
+        // Figure 4.
+        self.engine.background_reclaim();
 
-        latency
+        (latency, outcome, prefetches_issued)
     }
 
-    /// Reads the prefetch candidates into the swap cache (asynchronously with
-    /// respect to the faulting access).
-    fn issue_prefetches(&mut self, _pid: Pid, candidates: &[PageAddr]) {
-        let now = self.clock.now();
+    /// Reads the prefetch candidates into the swap cache (asynchronously
+    /// with respect to the faulting access). Returns how many were issued.
+    fn issue_prefetches(&mut self, candidates: &[PageAddr]) -> u32 {
+        let mut issued = 0u32;
         for candidate in candidates {
-            let slot = SwapSlot(candidate.0);
+            let slot = leap_mem::SwapSlot(candidate.0);
             // Only pages that are actually swapped out can be prefetched.
             let Some((owner_pid, owner_page)) = self.swap.owner(slot) else {
                 continue;
             };
             // Skip pages that are already resident or already cached.
-            if self.cache.contains(slot) {
+            if self.engine.cache.contains(slot) {
                 continue;
             }
             if let Some(owner) = self.processes.get(&owner_pid) {
@@ -385,50 +211,21 @@ impl VmmSimulator {
                     continue;
                 }
             }
-            // Make room in a bounded prefetch cache (Figure 12): under the
-            // eager policy unconsumed prefetches are reclaimed FIFO, under
-            // the lazy policy the background reclaimer is responsible.
-            if self.cache.is_full() {
-                match self.config.eviction {
-                    EvictionPolicy::Eager => {
-                        let victims = self.eager.reclaim_fifo(&mut self.cache, 1);
-                        for v in &victims {
-                            self.lazy.on_remove(*v);
-                            self.result.cache_stats.record_eviction(true);
-                        }
-                        if victims.is_empty() {
-                            continue;
-                        }
-                    }
-                    EvictionPolicy::Lazy => {
-                        let outcome = self.lazy.reclaim(&mut self.cache, 1, now);
-                        for wait in &outcome.post_hit_wait {
-                            self.result.eviction_wait.record(*wait);
-                        }
-                        for _ in &outcome.freed {
-                            self.result.cache_stats.record_eviction(false);
-                        }
-                        if outcome.freed.is_empty() {
-                            continue;
-                        }
-                    }
-                }
+            // Make room in a bounded prefetch cache (Figure 12): the
+            // eviction policy decides what goes (unconsumed prefetches FIFO
+            // under eager, LRU scan under lazy).
+            if !self.engine.make_cache_space() {
+                continue;
             }
             // Issue the read; the transfer happens off the critical path, so
             // only the dispatch-queue occupancy matters (captured inside the
             // lean data path's shared agent).
-            let core = self.next_core();
-            let _ = self.data_path.read_page(slot.0, core, now);
-            if self
-                .cache
-                .insert(slot, owner_pid, CacheOrigin::Prefetch, now)
-            {
-                self.result.cache_stats.record_add(1);
-                self.result.prefetch_stats.record_prefetched(1);
-                self.eager.on_prefetch_insert(slot);
-                self.lazy.on_insert(slot);
+            let _ = self.engine.read_remote(slot.0);
+            if self.engine.insert_prefetched(slot, owner_pid) {
+                issued += 1;
             }
         }
+        issued
     }
 
     /// Ensures `pages` frames can be charged to `pid`, swapping out the least
@@ -450,10 +247,7 @@ impl VmmSimulator {
         // because consumed prefetch pages are already gone. The scan batch is
         // bounded (kswapd reclaims in SWAP_CLUSTER_MAX-sized chunks), so the
         // wait is capped — the paper reports a ~750 ns average difference.
-        let scan_pages = match self.config.eviction {
-            EvictionPolicy::Lazy => self.lazy.tracked_pages() as u64,
-            EvictionPolicy::Eager => self.eager.len() as u64,
-        };
+        let scan_pages = self.engine.evictor.tracked_pages();
         let scan_wait = Nanos(80).saturating_add(Nanos(20) * scan_pages.min(64));
         wait = wait.saturating_add(scan_wait);
 
@@ -474,17 +268,15 @@ impl VmmSimulator {
                 .is_some()
             {
                 process.limit.uncharge(1);
-                self.result.pages_swapped_out += 1;
+                self.engine.result.pages_swapped_out += 1;
                 wait = wait.saturating_add(SWAP_OUT_OVERHEAD);
                 // The write-back itself is asynchronous: issue it so the
                 // backend and dispatch queues see the traffic, but do not
                 // charge its latency to the faulting access.
-                let core = self.next_core();
-                let now = self.clock.now();
-                let _ = self.data_path.write_page(slot.0, core, now);
+                let _ = self.engine.write_remote(slot.0);
             }
         }
-        self.result.allocation_wait.record(wait);
+        self.engine.result.allocation_wait.record(wait);
         wait
     }
 
@@ -503,32 +295,92 @@ impl VmmSimulator {
         process.page_table.map(page, frame);
         process.resident_lru.push(page);
     }
+}
 
-    /// Runs the background lazy reclaimer when the swap cache has grown past
-    /// the high watermark.
-    fn maybe_run_lazy_reclaim(&mut self) {
-        if self.cache.len() <= LAZY_CACHE_HIGH_WATERMARK {
-            return;
+impl Simulator for VmmSimulator {
+    fn config(&self) -> &SimConfig {
+        &self.engine.config
+    }
+
+    fn label(&self) -> &str {
+        &self.engine.label
+    }
+
+    fn prepare(&mut self, traces: &[AccessTrace]) {
+        for (i, trace) in traces.iter().enumerate() {
+            self.register_process(Pid(i as u32 + 1), trace.working_set_pages());
         }
-        let target = self.cache.len() - LAZY_CACHE_HIGH_WATERMARK / 2;
-        let now = self.clock.now();
-        let outcome = self.lazy.reclaim(&mut self.cache, target, now);
-        for wait in &outcome.post_hit_wait {
-            self.result.eviction_wait.record(*wait);
+        self.engine.stamp_run(EngineCore::workload_name(traces));
+    }
+
+    /// Touches every distinct page of `trace` once, in address order,
+    /// without recording metrics (the allocation/initialisation phase).
+    fn prepopulate(&mut self, pid: Pid, trace: &AccessTrace) {
+        let mut pages: Vec<u64> = trace.iter().map(|a| a.page).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for page in pages {
+            let vp = VirtPage(page);
+            let already_resident = {
+                let process = self.processes.get(&pid).expect("registered process");
+                process.page_table.is_resident(vp)
+            };
+            if already_resident {
+                continue;
+            }
+            let _ = self.make_room(pid, 1);
+            self.map_in(pid, vp, true);
         }
-        for _ in 0..outcome.freed_unused_prefetches {
-            self.result.cache_stats.record_eviction(true);
-        }
-        let consumed_or_demand = outcome.freed.len() as u64 - outcome.freed_unused_prefetches;
-        for _ in 0..consumed_or_demand {
-            self.result.cache_stats.record_eviction(false);
-        }
+        // Prepopulation metrics (allocation waits recorded by make_room) do
+        // not belong in the measured run.
+        self.engine.result.allocation_wait = Default::default();
+        self.engine.result.pages_swapped_out = 0;
+    }
+
+    fn step_access(&mut self, pid: Pid, access: Access) -> FaultEvent {
+        self.engine.begin_access(&access);
+
+        let page = VirtPage(access.page);
+        let state = {
+            let process = self
+                .processes
+                .get(&pid)
+                .unwrap_or_else(|| panic!("process {pid} not registered"));
+            process.page_table.lookup(page)
+        };
+
+        let (latency, outcome, prefetches_issued) = match state {
+            PageState::Resident(_) => {
+                let process = self.processes.get_mut(&pid).expect("checked above");
+                process.resident_lru.touch(&page);
+                (LOCAL_ACCESS, AccessOutcome::LocalHit, 0)
+            }
+            PageState::Untouched => {
+                self.engine.result.first_touch_faults += 1;
+                let alloc_wait = self.make_room(pid, 1);
+                self.map_in(pid, page, access.is_write);
+                (
+                    MINOR_FAULT.saturating_add(alloc_wait),
+                    AccessOutcome::MinorFault,
+                    0,
+                )
+            }
+            PageState::Swapped(slot) => self.remote_access(pid, page, slot, access.is_write),
+        };
+
+        self.engine
+            .complete_access(pid, access, outcome, latency, prefetches_issued)
+    }
+
+    fn into_result(self) -> RunResult {
+        self.engine.into_result()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EvictionPolicy;
     use leap_prefetcher::PrefetcherKind;
     use leap_remote::BackendKind;
     use leap_sim_core::units::MIB;
@@ -541,11 +393,25 @@ mod tests {
         stride_trace(4 * MIB, 10, 1)
     }
 
+    fn leap_at(fraction: f64) -> SimConfig {
+        SimConfig::builder()
+            .memory_fraction(fraction)
+            .build()
+            .unwrap()
+    }
+
+    fn linux_at(fraction: f64) -> SimConfig {
+        SimConfig::linux_defaults()
+            .to_builder()
+            .memory_fraction(fraction)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn full_memory_has_no_remote_accesses() {
         let trace = sequential_trace(2 * MIB, 2);
-        let config = SimConfig::leap_defaults().with_memory_fraction(1.0);
-        let result = VmmSimulator::new(config).run(&trace);
+        let result = VmmSimulator::new(leap_at(1.0)).run(&trace);
         assert_eq!(result.remote_accesses, 0);
         assert_eq!(result.first_touch_faults, 512);
         assert_eq!(result.total_accesses, 1024);
@@ -554,8 +420,7 @@ mod tests {
     #[test]
     fn constrained_memory_causes_remote_accesses() {
         let trace = sequential_trace(4 * MIB, 2);
-        let config = SimConfig::leap_defaults().with_memory_fraction(0.5);
-        let result = VmmSimulator::new(config).run(&trace);
+        let result = VmmSimulator::new(leap_at(0.5)).run(&trace);
         assert!(result.remote_accesses > 0);
         assert!(result.pages_swapped_out > 0);
         assert_eq!(
@@ -569,12 +434,8 @@ mod tests {
     #[test]
     fn leap_beats_default_path_on_stride() {
         let trace = small_stride_trace();
-        let linux = VmmSimulator::new(SimConfig::linux_defaults().with_memory_fraction(0.5))
-            .run_prepopulated(&trace);
-        let leap = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.5))
-            .run_prepopulated(&trace);
-        let mut linux = linux;
-        let mut leap = leap;
+        let mut linux = VmmSimulator::new(linux_at(0.5)).run_prepopulated(&trace);
+        let mut leap = VmmSimulator::new(leap_at(0.5)).run_prepopulated(&trace);
         assert!(linux.remote_accesses() > 0 && leap.remote_accesses() > 0);
         // Median remote latency improves by well over an order of magnitude
         // (the paper reports up to 104× for Stride-10).
@@ -591,8 +452,7 @@ mod tests {
     #[test]
     fn leap_cache_hit_ratio_is_high_on_regular_patterns() {
         let trace = small_stride_trace();
-        let result = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.5))
-            .run_prepopulated(&trace);
+        let result = VmmSimulator::new(leap_at(0.5)).run_prepopulated(&trace);
         assert!(
             result.cache_stats.hit_ratio() > 0.7,
             "hit ratio {} too low",
@@ -605,7 +465,7 @@ mod tests {
     fn readahead_fails_on_stride_but_works_on_sequential() {
         let stride = small_stride_trace();
         let seq = sequential_trace(4 * MIB, 1);
-        let config = SimConfig::linux_defaults().with_memory_fraction(0.5);
+        let config = linux_at(0.5);
         let stride_result = VmmSimulator::new(config).run_prepopulated(&stride);
         let seq_result = VmmSimulator::new(config).run_prepopulated(&seq);
         assert!(
@@ -623,20 +483,19 @@ mod tests {
     #[test]
     fn eager_eviction_keeps_the_cache_small() {
         let trace = small_stride_trace();
-        let eager = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.5))
-            .run_prepopulated(&trace);
-        let lazy = VmmSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_eviction(EvictionPolicy::Lazy),
-        )
-        .run_prepopulated(&trace);
+        let eager = VmmSimulator::new(leap_at(0.5)).run_prepopulated(&trace);
+        let lazy_config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .eviction(EvictionPolicy::Lazy)
+            .build()
+            .unwrap();
+        let lazy = VmmSimulator::new(lazy_config).run_prepopulated(&trace);
         // Under the lazy policy consumed prefetched pages linger and are
         // eventually reclaimed by the background scanner; under the eager
         // policy they never wait.
         assert!(eager.eviction_wait.is_empty());
         assert!(
-            lazy.eviction_wait.len() > 0 || lazy.cache_stats.evictions() == 0,
+            !lazy.eviction_wait.is_empty() || lazy.cache_stats.evictions() == 0,
             "lazy run should observe post-hit waits once reclaim happens"
         );
     }
@@ -644,11 +503,13 @@ mod tests {
     #[test]
     fn disk_backend_is_slower_than_rdma() {
         let trace = small_stride_trace();
-        let mut hdd =
-            VmmSimulator::new(SimConfig::disk_defaults(BackendKind::Hdd).with_memory_fraction(0.5))
-                .run_prepopulated(&trace);
-        let mut rdma = VmmSimulator::new(SimConfig::linux_defaults().with_memory_fraction(0.5))
-            .run_prepopulated(&trace);
+        let hdd_config = SimConfig::disk_defaults(BackendKind::Hdd)
+            .to_builder()
+            .memory_fraction(0.5)
+            .build()
+            .unwrap();
+        let mut hdd = VmmSimulator::new(hdd_config).run_prepopulated(&trace);
+        let mut rdma = VmmSimulator::new(linux_at(0.5)).run_prepopulated(&trace);
         assert!(hdd.median_remote_latency() > rdma.median_remote_latency());
         assert!(hdd.completion_time > rdma.completion_time);
     }
@@ -657,10 +518,8 @@ mod tests {
     fn throughput_and_latency_improve_with_more_memory() {
         let model = AppModel::new(AppKind::Memcached, 5).with_accesses(30_000);
         let trace = model.generate();
-        let at_25 =
-            VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.25)).run(&trace);
-        let at_100 =
-            VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(1.0)).run(&trace);
+        let at_25 = VmmSimulator::new(leap_at(0.25)).run(&trace);
+        let at_100 = VmmSimulator::new(leap_at(1.0)).run(&trace);
         assert!(at_100.completion_time < at_25.completion_time);
         assert!(at_100.throughput_ops_per_sec() > at_25.throughput_ops_per_sec());
     }
@@ -668,12 +527,12 @@ mod tests {
     #[test]
     fn constrained_prefetch_cache_still_works() {
         let trace = small_stride_trace();
-        let result = VmmSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_prefetch_cache_pages(64),
-        )
-        .run_prepopulated(&trace);
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .prefetch_cache_pages(64)
+            .build()
+            .unwrap();
+        let result = VmmSimulator::new(config).run_prepopulated(&trace);
         assert!(result.cache_stats.hit_ratio() > 0.3);
         assert!(result.remote_accesses > 0);
     }
@@ -681,12 +540,12 @@ mod tests {
     #[test]
     fn no_prefetcher_never_adds_to_cache() {
         let trace = small_stride_trace();
-        let result = VmmSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_prefetcher(PrefetcherKind::None),
-        )
-        .run_prepopulated(&trace);
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .prefetcher(PrefetcherKind::None)
+            .build()
+            .unwrap();
+        let result = VmmSimulator::new(config).run_prepopulated(&trace);
         assert_eq!(result.cache_stats.cache_adds(), 0);
         assert_eq!(result.prefetch_stats.pages_prefetched(), 0);
         assert_eq!(result.cache_stats.hits(), 0);
@@ -703,18 +562,18 @@ mod tests {
         let traces = vec![seq, noisy];
         let schedule = interleave(&traces, 123);
 
-        let isolated = VmmSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_isolation(true),
-        )
-        .run_multi(&traces, &schedule);
-        let shared = VmmSimulator::new(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_isolation(false),
-        )
-        .run_multi(&traces, &schedule);
+        let isolated_config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .per_process_isolation(true)
+            .build()
+            .unwrap();
+        let isolated = VmmSimulator::new(isolated_config).run_multi(&traces, &schedule);
+        let shared_config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .per_process_isolation(false)
+            .build()
+            .unwrap();
+        let shared = VmmSimulator::new(shared_config).run_multi(&traces, &schedule);
         assert!(isolated.remote_accesses > 0);
         // Isolation lets the sequential process keep its trend, so overall
         // prefetch coverage is at least as good as with shared state.
@@ -724,10 +583,9 @@ mod tests {
     #[test]
     fn results_are_deterministic_for_a_seed() {
         let trace = small_stride_trace();
-        let a =
-            VmmSimulator::new(SimConfig::leap_defaults().with_seed(77)).run_prepopulated(&trace);
-        let b =
-            VmmSimulator::new(SimConfig::leap_defaults().with_seed(77)).run_prepopulated(&trace);
+        let config = SimConfig::builder().seed(77).build().unwrap();
+        let a = VmmSimulator::new(config).run_prepopulated(&trace);
+        let b = VmmSimulator::new(config).run_prepopulated(&trace);
         assert_eq!(a.completion_time, b.completion_time);
         assert_eq!(a.remote_accesses, b.remote_accesses);
         assert_eq!(a.cache_stats, b.cache_stats);
@@ -736,8 +594,7 @@ mod tests {
     #[test]
     fn remote_access_accounting_is_consistent() {
         let trace = small_stride_trace();
-        let result = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.5))
-            .run_prepopulated(&trace);
+        let result = VmmSimulator::new(leap_at(0.5)).run_prepopulated(&trace);
         // Every remote access is either a cache hit or a miss.
         assert_eq!(
             result.remote_accesses,
@@ -749,5 +606,26 @@ mod tests {
             result.remote_accesses
         );
         assert_eq!(result.access_latency.len() as u64, result.total_accesses);
+    }
+
+    #[test]
+    fn backend_latency_override_shifts_the_distribution() {
+        let trace = small_stride_trace();
+        let slow_config = SimConfig::linux_defaults()
+            .to_builder()
+            .memory_fraction(0.5)
+            .backend_read_latency(Nanos::from_micros(500))
+            .backend_write_latency(Nanos::from_micros(500))
+            .build()
+            .unwrap();
+        let mut slow = VmmSimulator::new(slow_config).run_prepopulated(&trace);
+        let mut stock = VmmSimulator::new(linux_at(0.5)).run_prepopulated(&trace);
+        // A 500 µs constant device latency dominates the stock RDMA medians.
+        assert!(
+            slow.median_remote_latency() > stock.median_remote_latency(),
+            "override {:?} should exceed stock {:?}",
+            slow.median_remote_latency(),
+            stock.median_remote_latency()
+        );
     }
 }

@@ -21,8 +21,8 @@ impl Prefetcher for NoPrefetcher {
 
     fn on_prefetch_hit(&mut self, _addr: PageAddr) {}
 
-    fn kind(&self) -> PrefetcherKind {
-        PrefetcherKind::None
+    fn name(&self) -> &'static str {
+        PrefetcherKind::None.label()
     }
 
     fn reset(&mut self) {}
@@ -74,8 +74,8 @@ impl Prefetcher for NextNLinePrefetcher {
 
     fn on_prefetch_hit(&mut self, _addr: PageAddr) {}
 
-    fn kind(&self) -> PrefetcherKind {
-        PrefetcherKind::NextNLine
+    fn name(&self) -> &'static str {
+        PrefetcherKind::NextNLine.label()
     }
 
     fn reset(&mut self) {
@@ -182,8 +182,8 @@ impl Prefetcher for StridePrefetcher {
         self.hits_since_last += 1;
     }
 
-    fn kind(&self) -> PrefetcherKind {
-        PrefetcherKind::Stride
+    fn name(&self) -> &'static str {
+        PrefetcherKind::Stride.label()
     }
 
     fn reset(&mut self) {
@@ -290,8 +290,8 @@ impl Prefetcher for ReadAheadPrefetcher {
         self.hits_since_last += 1;
     }
 
-    fn kind(&self) -> PrefetcherKind {
-        PrefetcherKind::ReadAhead
+    fn name(&self) -> &'static str {
+        PrefetcherKind::ReadAhead.label()
     }
 
     fn reset(&mut self) {
@@ -312,7 +312,7 @@ mod tests {
         for i in 0..100u64 {
             assert!(p.on_fault(PageAddr(i)).is_empty());
         }
-        assert_eq!(p.kind(), PrefetcherKind::None);
+        assert_eq!(p.name(), PrefetcherKind::None.label());
     }
 
     #[test]
@@ -462,15 +462,18 @@ mod tests {
     }
 
     #[test]
-    fn kinds_are_correct() {
+    fn names_are_correct() {
         assert_eq!(
-            NextNLinePrefetcher::default().kind(),
-            PrefetcherKind::NextNLine
+            NextNLinePrefetcher::default().name(),
+            PrefetcherKind::NextNLine.label()
         );
-        assert_eq!(StridePrefetcher::default().kind(), PrefetcherKind::Stride);
         assert_eq!(
-            ReadAheadPrefetcher::default().kind(),
-            PrefetcherKind::ReadAhead
+            StridePrefetcher::default().name(),
+            PrefetcherKind::Stride.label()
+        );
+        assert_eq!(
+            ReadAheadPrefetcher::default().name(),
+            PrefetcherKind::ReadAhead.label()
         );
     }
 

@@ -240,8 +240,8 @@ impl Prefetcher for LeapPrefetcher {
         self.window.record_hit();
     }
 
-    fn kind(&self) -> PrefetcherKind {
-        PrefetcherKind::Leap
+    fn name(&self) -> &'static str {
+        PrefetcherKind::Leap.label()
     }
 
     fn reset(&mut self) {
@@ -439,8 +439,11 @@ mod tests {
     }
 
     #[test]
-    fn kind_is_leap() {
-        assert_eq!(LeapPrefetcher::default().kind(), PrefetcherKind::Leap);
+    fn name_is_leap() {
+        assert_eq!(
+            LeapPrefetcher::default().name(),
+            PrefetcherKind::Leap.label()
+        );
     }
 
     proptest! {

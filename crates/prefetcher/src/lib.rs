@@ -44,6 +44,7 @@ pub mod baselines;
 pub mod history;
 pub mod leap;
 pub mod majority;
+pub mod programmed;
 pub mod trend;
 pub mod types;
 pub mod window;
@@ -51,6 +52,7 @@ pub mod window;
 pub use baselines::{NextNLinePrefetcher, NoPrefetcher, ReadAheadPrefetcher, StridePrefetcher};
 pub use history::AccessHistory;
 pub use leap::{LeapConfig, LeapPrefetcher};
+pub use programmed::ProgrammedPrefetcher;
 pub use trend::{find_trend, TrendOutcome};
 pub use types::{Delta, PageAddr, PrefetchDecision, Prefetcher, PrefetcherKind};
 pub use window::PrefetchWindow;

@@ -86,7 +86,7 @@ where
         None => return MajorityOutcome::NoMajority,
     };
     let occurrences = window.iter().filter(|&&x| x == candidate).count();
-    if occurrences >= window.len() / 2 + 1 {
+    if occurrences > window.len() / 2 {
         MajorityOutcome::Majority(candidate)
     } else {
         MajorityOutcome::NoMajority
@@ -169,7 +169,7 @@ impl<T: PartialEq + Copy> StreamingVote<T> {
         if total == 0 {
             return MajorityOutcome::NoMajority;
         }
-        if occurrences >= total / 2 + 1 {
+        if occurrences > total / 2 {
             MajorityOutcome::Majority(candidate)
         } else {
             MajorityOutcome::NoMajority
@@ -276,7 +276,7 @@ mod tests {
             }
             window.push(majority);
             let count_major = window.iter().filter(|&&x| x == majority).count();
-            prop_assume!(count_major >= window.len() / 2 + 1);
+            prop_assume!(count_major > window.len() / 2);
             prop_assert_eq!(majority_vote(&window), MajorityOutcome::Majority(majority));
         }
 
@@ -287,7 +287,7 @@ mod tests {
         ) {
             if let MajorityOutcome::Majority(m) = majority_vote(&window) {
                 let occurrences = window.iter().filter(|&&x| x == m).count();
-                prop_assert!(occurrences >= window.len() / 2 + 1);
+                prop_assert!(occurrences > window.len() / 2);
             }
         }
 

@@ -117,6 +117,20 @@ impl PrefetcherKind {
             PrefetcherKind::Leap => "Leap",
         }
     }
+
+    /// The inverse of [`PrefetcherKind::label`], used when parsing serialized
+    /// configurations.
+    pub fn from_label(label: &str) -> Option<Self> {
+        [
+            PrefetcherKind::None,
+            PrefetcherKind::NextNLine,
+            PrefetcherKind::Stride,
+            PrefetcherKind::ReadAhead,
+            PrefetcherKind::Leap,
+        ]
+        .into_iter()
+        .find(|k| k.label() == label)
+    }
 }
 
 impl fmt::Display for PrefetcherKind {
@@ -168,6 +182,12 @@ impl PrefetchDecision {
 /// memory and [`Prefetcher::on_prefetch_hit`] whenever an access is served
 /// from the prefetch cache, which is the feedback signal used to grow or
 /// shrink the prefetch window.
+///
+/// The trait is deliberately open: third-party algorithms (an oracle, a
+/// 3PO-style programmed policy, a learned model) implement it outside this
+/// crate and plug into the simulators through `leap`'s component registry.
+/// [`Prefetcher::name`] is free-form for exactly that reason — built-in
+/// algorithms report their [`PrefetcherKind`] label.
 pub trait Prefetcher: Send + fmt::Debug {
     /// Records a faulting access to `addr` and returns the pages to prefetch.
     fn on_fault(&mut self, addr: PageAddr) -> PrefetchDecision;
@@ -175,8 +195,8 @@ pub trait Prefetcher: Send + fmt::Debug {
     /// Records that a previously prefetched page was hit in the cache.
     fn on_prefetch_hit(&mut self, addr: PageAddr);
 
-    /// Returns which algorithm this is (for reporting).
-    fn kind(&self) -> PrefetcherKind;
+    /// The algorithm's name, used in report rows and config labels.
+    fn name(&self) -> &'static str;
 
     /// Resets all internal state (history, windows, counters).
     fn reset(&mut self);

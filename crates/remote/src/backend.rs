@@ -34,6 +34,14 @@ impl BackendKind {
         }
     }
 
+    /// The inverse of [`BackendKind::label`], used when parsing serialized
+    /// configurations.
+    pub fn from_label(label: &str) -> Option<Self> {
+        [BackendKind::Hdd, BackendKind::Ssd, BackendKind::Rdma]
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+
     /// The nominal (median) 4 KB access latency from the paper's Figure 1.
     pub fn nominal_latency(self) -> Nanos {
         match self {
@@ -41,6 +49,34 @@ impl BackendKind {
             BackendKind::Ssd => Nanos::from_micros_f64(20.0),
             BackendKind::Rdma => Nanos::from_micros_f64(4.3),
         }
+    }
+}
+
+/// Constant read/write latency overrides for what-if studies against
+/// hypothetical devices (e.g. "what if the interconnect were 2 µs flat?").
+///
+/// Each direction is independent: a direction left as `None` keeps the
+/// paper-calibrated latency distribution for the backend kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstLatencyOverride {
+    /// Constant 4 KB read latency; `None` keeps the calibrated read model.
+    pub read: Option<Nanos>,
+    /// Constant 4 KB write latency; `None` keeps the calibrated write model.
+    pub write: Option<Nanos>,
+}
+
+impl ConstLatencyOverride {
+    /// Builds a [`StorageBackend`] of the given kind, replacing only the
+    /// overridden direction(s) with a constant latency.
+    pub fn into_backend(self, kind: BackendKind) -> StorageBackend {
+        let mut backend = StorageBackend::new(kind);
+        if let Some(read) = self.read {
+            backend.read = Box::new(ConstantLatency::new(read));
+        }
+        if let Some(write) = self.write {
+            backend.write = Box::new(ConstantLatency::new(write));
+        }
+        backend
     }
 }
 

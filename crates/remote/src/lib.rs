@@ -21,6 +21,6 @@ pub mod dispatch;
 pub mod slab;
 
 pub use agent::{HostAgent, HostAgentConfig, RemoteIoKind, RemoteIoResult};
-pub use backend::{BackendKind, StorageBackend};
+pub use backend::{BackendKind, ConstLatencyOverride, StorageBackend};
 pub use dispatch::DispatchQueues;
 pub use slab::{RemoteCluster, RemoteMachine, SlabId, SlabMap, DEFAULT_SLAB_BYTES};

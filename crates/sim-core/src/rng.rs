@@ -4,15 +4,13 @@
 //! generators, slab placement) draws from a [`DetRng`] seeded from the
 //! experiment configuration so that repeated runs are bit-for-bit identical.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seedable, deterministic random number generator.
 ///
-/// Internally this wraps [`rand::rngs::StdRng`]; the wrapper exists so that
-/// the rest of the workspace depends on a single, stable interface and so
-/// that derived sub-streams (one per process, per device, ...) can be forked
-/// reproducibly with [`DetRng::fork`].
+/// Internally this is a self-contained xoshiro256++ generator whose state is
+/// expanded from the 64-bit seed with splitmix64 (no external dependencies);
+/// the wrapper exists so that the rest of the workspace depends on a single,
+/// stable interface and so that derived sub-streams (one per process, per
+/// device, ...) can be forked reproducibly with [`DetRng::fork`].
 ///
 /// # Examples
 ///
@@ -25,16 +23,31 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
     forks: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            state,
             seed,
             forks: 0,
         }
@@ -59,14 +72,25 @@ impl DetRng {
         DetRng::seed_from(child_seed)
     }
 
-    /// Returns the next raw 64-bit value.
+    /// Returns the next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Returns a uniform `f64` in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns a uniform integer in `[low, high)`.
@@ -76,7 +100,20 @@ impl DetRng {
     /// Panics if `low >= high`.
     pub fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
         assert!(low < high, "gen_range_u64 requires low < high");
-        self.inner.gen_range(low..high)
+        let span = high - low;
+        // Debiased multiply-shift (Lemire); the rejection loop terminates
+        // almost immediately for any span that is not close to 2^64.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (span as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return low + hi;
+            }
+        }
     }
 
     /// Returns a uniform integer in `[low, high)` as `usize`.
@@ -86,7 +123,7 @@ impl DetRng {
     /// Panics if `low >= high`.
     pub fn gen_range_usize(&mut self, low: usize, high: usize) -> usize {
         assert!(low < high, "gen_range_usize requires low < high");
-        self.inner.gen_range(low..high)
+        self.gen_range_u64(low as u64, high as u64) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).

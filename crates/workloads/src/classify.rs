@@ -129,7 +129,7 @@ fn classify_deltas(deltas: &[i64], mode: PatternMode) -> WindowClass {
                     best_delta = candidate;
                 }
             }
-            if best_count >= deltas.len() / 2 + 1 {
+            if best_count > deltas.len() / 2 {
                 if best_delta == 1 {
                     WindowClass::Sequential
                 } else if best_delta != 0 {

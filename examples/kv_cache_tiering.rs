@@ -37,12 +37,19 @@ fn main() {
         for fraction in [1.0, 0.5, 0.25] {
             let dvmm = throughput(
                 kind,
-                SimConfig::linux_defaults().with_memory_fraction(fraction),
+                SimConfig::linux_defaults()
+                    .to_builder()
+                    .memory_fraction(fraction)
+                    .build()
+                    .expect("valid config"),
                 accesses,
             );
             let leap = throughput(
                 kind,
-                SimConfig::leap_defaults().with_memory_fraction(fraction),
+                SimConfig::builder()
+                    .memory_fraction(fraction)
+                    .build()
+                    .expect("valid config"),
                 accesses,
             );
             table.add_row(vec![
@@ -68,9 +75,11 @@ fn main() {
         ("32 MB", 32 * 256),
         ("3.2 MB", 819),
     ] {
-        let config = SimConfig::leap_defaults()
-            .with_memory_fraction(0.5)
-            .with_prefetch_cache_pages(pages);
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .prefetch_cache_pages(pages)
+            .build()
+            .expect("valid config");
         cache_table.add_row(vec![
             label.to_string(),
             format!("{:.0}", throughput(AppKind::VoltDb, config, accesses)),

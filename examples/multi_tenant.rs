@@ -42,17 +42,26 @@ fn main() {
     let configs = [
         (
             "D-VMM (shared readahead)",
-            SimConfig::linux_defaults().with_memory_fraction(0.5),
+            SimConfig::linux_defaults()
+                .to_builder()
+                .memory_fraction(0.5)
+                .build()
+                .expect("valid config"),
         ),
         (
             "D-VMM+Leap, shared tracker",
-            SimConfig::leap_defaults()
-                .with_memory_fraction(0.5)
-                .with_isolation(false),
+            SimConfig::builder()
+                .memory_fraction(0.5)
+                .per_process_isolation(false)
+                .build()
+                .expect("valid config"),
         ),
         (
             "D-VMM+Leap, per-process isolation",
-            SimConfig::leap_defaults().with_memory_fraction(0.5),
+            SimConfig::builder()
+                .memory_fraction(0.5)
+                .build()
+                .expect("valid config"),
         ),
     ];
 

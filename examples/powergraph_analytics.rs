@@ -37,14 +37,23 @@ fn main() {
     ])
     .with_title("PowerGraph completion time");
     for fraction in [1.0, 0.5, 0.25] {
-        let disk = VmmSimulator::new(
-            SimConfig::disk_defaults(BackendKind::Ssd).with_memory_fraction(fraction),
-        )
-        .run_prepopulated(&trace);
-        let dvmm = VmmSimulator::new(SimConfig::linux_defaults().with_memory_fraction(fraction))
-            .run_prepopulated(&trace);
-        let leap = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(fraction))
-            .run_prepopulated(&trace);
+        let disk_config = SimConfig::disk_defaults(BackendKind::Ssd)
+            .to_builder()
+            .memory_fraction(fraction)
+            .build()
+            .expect("valid config");
+        let disk = VmmSimulator::new(disk_config).run_prepopulated(&trace);
+        let linux_config = SimConfig::linux_defaults()
+            .to_builder()
+            .memory_fraction(fraction)
+            .build()
+            .expect("valid config");
+        let dvmm = VmmSimulator::new(linux_config).run_prepopulated(&trace);
+        let leap_config = SimConfig::builder()
+            .memory_fraction(fraction)
+            .build()
+            .expect("valid config");
+        let leap = VmmSimulator::new(leap_config).run_prepopulated(&trace);
         table.add_row(vec![
             format!("{:.0}%", fraction * 100.0),
             format!("{:.3}", disk.completion_seconds()),
@@ -69,9 +78,11 @@ fn main() {
     ])
     .with_title("Prefetcher comparison on the PowerGraph trace (50% memory, Leap data path)");
     for kind in PrefetcherKind::EVALUATED {
-        let config = SimConfig::leap_defaults()
-            .with_memory_fraction(0.5)
-            .with_prefetcher(kind);
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .prefetcher(kind)
+            .build()
+            .expect("valid config");
         let result = VmmSimulator::new(config).run_prepopulated(&trace);
         prefetch_table.add_row(vec![
             kind.label().to_string(),

@@ -43,8 +43,15 @@ fn main() {
         ])
         .with_title(format!("4KB remote page access latency — {name}"));
 
-        let linux_config = SimConfig::linux_defaults().with_memory_fraction(memory_fraction);
-        let leap_config = SimConfig::leap_defaults().with_memory_fraction(memory_fraction);
+        let linux_config = SimConfig::linux_defaults()
+            .to_builder()
+            .memory_fraction(memory_fraction)
+            .build()
+            .expect("valid config");
+        let leap_config = SimConfig::builder()
+            .memory_fraction(memory_fraction)
+            .build()
+            .expect("valid config");
 
         let mut linux = VmmSimulator::new(linux_config).run_prepopulated(&trace);
         let mut leap = VmmSimulator::new(leap_config).run_prepopulated(&trace);

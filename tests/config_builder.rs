@@ -1,0 +1,175 @@
+//! Integration tests for the validated config builder and the `Simulator` /
+//! `Session` APIs at workspace level (through the `leap-repro` umbrella).
+
+use leap_repro::leap_sim_core::units::MIB;
+use leap_repro::leap_sim_core::Nanos;
+use leap_repro::leap_workloads::{interleave, stride_trace};
+use leap_repro::prelude::*;
+
+#[test]
+fn builder_rejects_each_invalid_knob_with_the_right_variant() {
+    assert!(matches!(
+        SimConfig::builder().memory_fraction(-0.5).build(),
+        Err(ConfigError::MemoryFractionOutOfRange(_))
+    ));
+    assert!(matches!(
+        SimConfig::builder().memory_fraction(2.0).build(),
+        Err(ConfigError::MemoryFractionOutOfRange(_))
+    ));
+    assert!(matches!(
+        SimConfig::builder().history_size(0).build(),
+        Err(ConfigError::ZeroHistorySize)
+    ));
+    assert!(matches!(
+        SimConfig::builder().max_prefetch_window(0).build(),
+        Err(ConfigError::ZeroPrefetchWindow)
+    ));
+    assert!(matches!(
+        SimConfig::builder().cores(0).build(),
+        Err(ConfigError::ZeroCores)
+    ));
+    assert!(matches!(
+        SimConfig::builder().prefetch_cache_pages(0).build(),
+        Err(ConfigError::ZeroPrefetchCache)
+    ));
+    assert!(matches!(
+        SimConfig::builder()
+            .max_prefetch_window(32)
+            .prefetch_cache_pages(16)
+            .build(),
+        Err(ConfigError::CacheSmallerThanWindow {
+            cache_pages: 16,
+            window: 32
+        })
+    ));
+    assert!(matches!(
+        SimConfig::builder()
+            .backend_read_latency(Nanos::ZERO)
+            .build(),
+        Err(ConfigError::ZeroBackendLatency { which: "read" })
+    ));
+    // Errors render actionably.
+    let msg = SimConfig::builder()
+        .memory_fraction(7.0)
+        .build()
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("memory_fraction"), "got {msg:?}");
+}
+
+#[test]
+fn builder_knobs_reach_the_simulation() {
+    let trace = stride_trace(4 * MIB, 10, 1);
+    // More history + a wider window than the defaults still runs and keeps
+    // the Leap coverage on a regular pattern.
+    let result = SimConfig::builder()
+        .memory_fraction(0.5)
+        .history_size(64)
+        .max_prefetch_window(16)
+        .cores(4)
+        .seed(3)
+        .build_vmm()
+        .expect("valid config")
+        .run_prepopulated(&trace);
+    assert!(result.cache_stats.hit_ratio() > 0.7);
+}
+
+#[test]
+fn config_json_round_trip_through_files() {
+    let config = SimConfig::builder()
+        .prefetcher(PrefetcherKind::Leap)
+        .backend(BackendKind::Ssd)
+        .memory_fraction(0.25)
+        .prefetch_cache_pages(4096)
+        .seed(77)
+        .backend_write_latency(Nanos::from_micros(12))
+        .build()
+        .expect("valid config");
+    let parsed = SimConfig::from_json(&config.to_json()).expect("round trip");
+    assert_eq!(parsed, config);
+    // A parsed config drives a simulator exactly like the original.
+    let trace = stride_trace(2 * MIB, 10, 1);
+    let a = VmmSimulator::new(config).run(&trace);
+    let b = VmmSimulator::new(parsed).run(&trace);
+    assert_eq!(a.completion_time, b.completion_time);
+}
+
+#[test]
+fn simulator_trait_is_front_end_agnostic() {
+    fn drive<S: Simulator>(sim: S, trace: &leap_repro::leap_workloads::AccessTrace) -> RunResult {
+        sim.run(trace)
+    }
+    let trace = stride_trace(2 * MIB, 10, 1);
+    let config = SimConfig::builder().memory_fraction(0.5).build().unwrap();
+    let vmm = drive(VmmSimulator::new(config), &trace);
+    let vfs = drive(VfsSimulator::new(config), &trace);
+    assert_eq!(vmm.total_accesses, trace.len() as u64);
+    assert_eq!(vfs.total_accesses, trace.len() as u64);
+}
+
+#[test]
+fn vfs_supports_multi_process_runs_via_the_trait() {
+    let traces = vec![stride_trace(2 * MIB, 10, 1), stride_trace(2 * MIB, 3, 1)];
+    let schedule = interleave(&traces, 5);
+    let config = SimConfig::builder().memory_fraction(0.5).build().unwrap();
+    let result = VfsSimulator::new(config).run_multi(&traces, &schedule);
+    assert_eq!(result.total_accesses, schedule.len() as u64);
+    assert!(result.workload.contains('+'));
+}
+
+#[test]
+fn session_stream_sees_every_access_in_order() {
+    #[derive(Default)]
+    struct SeqCheck {
+        next: u64,
+        remote: u64,
+        completed: bool,
+    }
+    impl Observer for SeqCheck {
+        fn on_event(&mut self, event: &FaultEvent) {
+            assert_eq!(event.seq, self.next, "events arrive in replay order");
+            self.next += 1;
+            if event.outcome.is_remote() {
+                self.remote += 1;
+            }
+        }
+        fn on_complete(&mut self, result: &RunResult) {
+            assert_eq!(self.next, result.total_accesses);
+            self.completed = true;
+        }
+    }
+
+    let trace = stride_trace(2 * MIB, 10, 1);
+    let config = SimConfig::builder().memory_fraction(0.5).build().unwrap();
+    let mut check = SeqCheck::default();
+    let mut counts = OutcomeCounts::default();
+    let result = VmmSimulator::new(config)
+        .session()
+        .observe(&mut check)
+        .observe(&mut counts)
+        .run_prepopulated(&trace);
+    assert!(check.completed);
+    assert_eq!(check.remote, result.remote_accesses);
+    assert_eq!(
+        counts.local_hits + counts.minor_faults + counts.cache_hits + counts.remote_fetches,
+        result.total_accesses
+    );
+    assert_eq!(counts.cache_hits, result.cache_stats.hits());
+    assert_eq!(counts.remote_fetches, result.cache_stats.misses());
+}
+
+#[test]
+fn session_run_is_numerically_identical_to_batch_run() {
+    let trace = stride_trace(4 * MIB, 10, 1);
+    let config = SimConfig::builder()
+        .memory_fraction(0.5)
+        .seed(21)
+        .build()
+        .unwrap();
+    let batch = VmmSimulator::new(config).run_prepopulated(&trace);
+    let streamed = VmmSimulator::new(config).session().run_prepopulated(&trace);
+    assert_eq!(batch.completion_time, streamed.completion_time);
+    assert_eq!(batch.remote_accesses, streamed.remote_accesses);
+    assert_eq!(batch.cache_stats, streamed.cache_stats);
+    assert_eq!(batch.pages_swapped_out, streamed.pages_swapped_out);
+}

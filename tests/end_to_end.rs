@@ -10,13 +10,26 @@ fn stride10() -> leap_repro::leap_workloads::AccessTrace {
     stride_trace(8 * MIB, 10, 1)
 }
 
+fn linux_at(fraction: f64) -> SimConfig {
+    SimConfig::linux_defaults()
+        .to_builder()
+        .memory_fraction(fraction)
+        .build()
+        .expect("valid config")
+}
+
+fn leap_at(fraction: f64) -> SimConfig {
+    SimConfig::builder()
+        .memory_fraction(fraction)
+        .build()
+        .expect("valid config")
+}
+
 #[test]
 fn leap_improves_stride_median_latency_by_an_order_of_magnitude() {
     let trace = stride10();
-    let mut linux = VmmSimulator::new(SimConfig::linux_defaults().with_memory_fraction(0.5))
-        .run_prepopulated(&trace);
-    let mut leap = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.5))
-        .run_prepopulated(&trace);
+    let mut linux = VmmSimulator::new(linux_at(0.5)).run_prepopulated(&trace);
+    let mut leap = VmmSimulator::new(leap_at(0.5)).run_prepopulated(&trace);
 
     let linux_median = linux.median_remote_latency().as_micros_f64();
     let leap_median = leap.median_remote_latency().as_micros_f64();
@@ -39,10 +52,8 @@ fn leap_improves_application_completion_time_across_memory_limits() {
         .with_accesses(40_000)
         .generate();
     for fraction in [0.5, 0.25] {
-        let linux = VmmSimulator::new(SimConfig::linux_defaults().with_memory_fraction(fraction))
-            .run_prepopulated(&trace);
-        let leap = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(fraction))
-            .run_prepopulated(&trace);
+        let linux = VmmSimulator::new(linux_at(fraction)).run_prepopulated(&trace);
+        let leap = VmmSimulator::new(leap_at(fraction)).run_prepopulated(&trace);
         assert!(
             leap.completion_time < linux.completion_time,
             "at {fraction}: leap {:?} not faster than linux {:?}",
@@ -68,8 +79,11 @@ fn leap_prefetcher_beats_baselines_on_mixed_patterns() {
     let mut adds = std::collections::HashMap::new();
     for kind in PrefetcherKind::EVALUATED {
         let config = SimConfig::disk_defaults(BackendKind::Hdd)
-            .with_prefetcher(kind)
-            .with_memory_fraction(0.5);
+            .to_builder()
+            .prefetcher(kind)
+            .memory_fraction(0.5)
+            .build()
+            .expect("valid config");
         let result = VmmSimulator::new(config).run_prepopulated(&trace);
         completion.insert(kind, result.completion_seconds());
         coverage.insert(kind, result.prefetch_stats.coverage());
@@ -100,10 +114,8 @@ fn leap_prefetcher_beats_baselines_on_mixed_patterns() {
 #[test]
 fn sequential_workloads_are_well_served_by_both_paths() {
     let trace = sequential_trace(8 * MIB, 1);
-    let linux = VmmSimulator::new(SimConfig::linux_defaults().with_memory_fraction(0.5))
-        .run_prepopulated(&trace);
-    let leap = VmmSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.5))
-        .run_prepopulated(&trace);
+    let linux = VmmSimulator::new(linux_at(0.5)).run_prepopulated(&trace);
+    let leap = VmmSimulator::new(leap_at(0.5)).run_prepopulated(&trace);
     // Read-Ahead handles purely sequential streams; Leap should still not be
     // worse and both should show high cache hit ratios.
     assert!(linux.cache_hit_ratio() > 0.6);
@@ -114,10 +126,8 @@ fn sequential_workloads_are_well_served_by_both_paths() {
 #[test]
 fn vfs_front_end_mirrors_vmm_behaviour() {
     let trace = stride10();
-    let mut default =
-        VfsSimulator::new(SimConfig::linux_defaults().with_memory_fraction(0.5)).run(&trace);
-    let mut leap =
-        VfsSimulator::new(SimConfig::leap_defaults().with_memory_fraction(0.5)).run(&trace);
+    let mut default = VfsSimulator::new(linux_at(0.5)).run(&trace);
+    let mut leap = VfsSimulator::new(leap_at(0.5)).run(&trace);
     assert!(default.median_remote_latency() > leap.median_remote_latency());
     assert!(default.p99_remote_latency() > leap.p99_remote_latency());
 }
@@ -125,11 +135,12 @@ fn vfs_front_end_mirrors_vmm_behaviour() {
 #[test]
 fn deterministic_runs_across_front_ends() {
     let trace = stride10();
-    let a = VmmSimulator::new(SimConfig::leap_defaults().with_seed(11)).run_prepopulated(&trace);
-    let b = VmmSimulator::new(SimConfig::leap_defaults().with_seed(11)).run_prepopulated(&trace);
+    let seeded = SimConfig::builder().seed(11).build().expect("valid config");
+    let a = VmmSimulator::new(seeded).run_prepopulated(&trace);
+    let b = VmmSimulator::new(seeded).run_prepopulated(&trace);
     assert_eq!(a.completion_time, b.completion_time);
     assert_eq!(a.cache_stats, b.cache_stats);
-    let c = VfsSimulator::new(SimConfig::leap_defaults().with_seed(11)).run(&trace);
-    let d = VfsSimulator::new(SimConfig::leap_defaults().with_seed(11)).run(&trace);
+    let c = VfsSimulator::new(seeded).run(&trace);
+    let d = VfsSimulator::new(seeded).run(&trace);
     assert_eq!(c.completion_time, d.completion_time);
 }

@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize};` plus `#[derive(Serialize, Deserialize)]` compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};

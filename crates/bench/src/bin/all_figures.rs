@@ -14,6 +14,7 @@ fn main() {
         ("Figure 11", leap_bench::fig11_applications()),
         ("Figure 12", leap_bench::fig12_constrained_cache()),
         ("Figure 13", leap_bench::fig13_multi_app()),
+        ("Figure 13 scale-up", leap_bench::fig13_scaleup()),
     ];
     for (name, report) in reports {
         println!("==================== {name} ====================");

@@ -1,0 +1,5 @@
+//! Regenerates the Figure 13 scale-up curve: throughput vs process count
+//! over 4 cores, computed from per-core `FaultEvent` streams.
+fn main() {
+    println!("{}", leap_bench::fig13_scaleup());
+}

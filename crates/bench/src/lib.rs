@@ -20,7 +20,7 @@ pub mod micro_figures;
 pub use app_figures::{
     fig03_pattern_windows, fig08b_slow_storage, fig09_prefetcher_cache,
     fig10_prefetch_effectiveness, fig11_applications, fig12_constrained_cache, fig13_multi_app,
-    table1_prefetcher_comparison,
+    fig13_scaleup, table1_prefetcher_comparison,
 };
 pub use micro_figures::{
     fig01_datapath_breakdown, fig02_default_datapath_cdf, fig04_lazy_eviction_wait,

@@ -138,6 +138,34 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the scheduler time slice used by multi-process replays
+    /// ([`crate::Simulator::run_multi`]). Validated nonzero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use leap::prelude::*;
+    /// use leap_sim_core::Nanos;
+    ///
+    /// // Two processes time-shared on 2 cores with a 200 µs quantum.
+    /// let traces = vec![
+    ///     leap_workloads::sequential_trace(2 * leap_sim_core::units::MIB, 1),
+    ///     leap_workloads::stride_trace(2 * leap_sim_core::units::MIB, 10, 1),
+    /// ];
+    /// let sim = SimConfig::builder()
+    ///     .cores(2)
+    ///     .sched_quantum(Nanos::from_micros(200))
+    ///     .seed(7)
+    ///     .build_vmm()?;
+    /// let result = sim.run_multi(&traces);
+    /// assert_eq!(result.total_accesses, 1024);
+    /// # Ok::<(), leap::ConfigError>(())
+    /// ```
+    pub fn sched_quantum(mut self, quantum: Nanos) -> Self {
+        self.config.sched_quantum = quantum;
+        self
+    }
+
     /// Sets per-process prefetcher isolation.
     pub fn per_process_isolation(mut self, isolated: bool) -> Self {
         self.config.per_process_isolation = isolated;
@@ -338,6 +366,7 @@ mod tests {
             .history_size(16)
             .max_prefetch_window(4)
             .cores(4)
+            .sched_quantum(Nanos::from_micros(750))
             .per_process_isolation(false)
             .seed(99)
             .backend_read_latency(Nanos::from_micros(3))
@@ -353,6 +382,7 @@ mod tests {
         assert_eq!(config.history_size, 16);
         assert_eq!(config.max_prefetch_window, 4);
         assert_eq!(config.cores, 4);
+        assert_eq!(config.sched_quantum, Nanos::from_micros(750));
         assert!(!config.per_process_isolation);
         assert_eq!(config.seed, 99);
         assert_eq!(config.backend_read_latency, Some(Nanos::from_micros(3)));
@@ -380,6 +410,10 @@ mod tests {
         assert!(matches!(
             SimConfig::builder().cores(0).build(),
             Err(ConfigError::ZeroCores)
+        ));
+        assert!(matches!(
+            SimConfig::builder().sched_quantum(Nanos::ZERO).build(),
+            Err(ConfigError::ZeroQuantum)
         ));
         assert!(matches!(
             SimConfig::builder().prefetch_cache_pages(0).build(),

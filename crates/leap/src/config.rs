@@ -100,8 +100,15 @@ pub struct SimConfig {
     pub history_size: usize,
     /// `PWsize_max`: maximum prefetch window.
     pub max_prefetch_window: usize,
-    /// Number of CPU cores (per-core RDMA dispatch queues).
+    /// Number of CPU cores (per-core RDMA dispatch queues; also the number
+    /// of run queues and swap/cache shards of a scheduled multi-process
+    /// replay).
     pub cores: usize,
+    /// Scheduler time slice of a multi-process replay
+    /// ([`crate::Simulator::run_multi`]): a process runs on its core for one
+    /// quantum of simulated time before the next process in that core's run
+    /// queue is switched in.
+    pub sched_quantum: Nanos,
     /// When several processes run, whether each gets its own isolated
     /// prefetcher state (Leap) or they share one (Linux's shared swap path).
     pub per_process_isolation: bool,
@@ -141,6 +148,7 @@ impl SimConfig {
             history_size: 32,
             max_prefetch_window: 8,
             cores: 8,
+            sched_quantum: Nanos::from_millis(1),
             per_process_isolation: false,
             seed: 42,
             backend_read_latency: None,
@@ -184,6 +192,9 @@ impl SimConfig {
         if self.cores == 0 {
             return Err(ConfigError::ZeroCores);
         }
+        if self.sched_quantum == Nanos::ZERO {
+            return Err(ConfigError::ZeroQuantum);
+        }
         if self.prefetch_cache_pages == 0 {
             return Err(ConfigError::ZeroPrefetchCache);
         }
@@ -205,28 +216,40 @@ impl SimConfig {
     }
 
     /// Overrides the prefetcher.
-    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().prefetcher(..)")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "replaced by `SimConfigBuilder::prefetcher`; start from `SimConfig::to_builder()`"
+    )]
     pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
         self.prefetcher = prefetcher;
         self
     }
 
     /// Overrides the data path.
-    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().data_path(..)")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "replaced by `SimConfigBuilder::data_path`; start from `SimConfig::to_builder()`"
+    )]
     pub fn with_data_path(mut self, data_path: DataPathKind) -> Self {
         self.data_path = data_path;
         self
     }
 
     /// Overrides the backend.
-    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().backend(..)")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "replaced by `SimConfigBuilder::backend`; start from `SimConfig::to_builder()`"
+    )]
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
         self
     }
 
     /// Overrides the eviction policy.
-    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().eviction(..)")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "replaced by `SimConfigBuilder::eviction`; start from `SimConfig::to_builder()`"
+    )]
     pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
         self.eviction = eviction;
         self
@@ -236,7 +259,8 @@ impl SimConfig {
     /// rejects out-of-range fractions instead of clamping).
     #[deprecated(
         since = "0.2.0",
-        note = "use SimConfig::to_builder().memory_fraction(..)"
+        note = "replaced by `SimConfigBuilder::memory_fraction` (which rejects rather than \
+                clamps out-of-range fractions); start from `SimConfig::to_builder()`"
     )]
     pub fn with_memory_fraction(mut self, fraction: f64) -> Self {
         self.memory_fraction = fraction.clamp(0.01, 1.0);
@@ -246,7 +270,8 @@ impl SimConfig {
     /// Overrides the prefetch-cache capacity in pages.
     #[deprecated(
         since = "0.2.0",
-        note = "use SimConfig::to_builder().prefetch_cache_pages(..)"
+        note = "replaced by `SimConfigBuilder::prefetch_cache_pages`; start from \
+                `SimConfig::to_builder()`"
     )]
     pub fn with_prefetch_cache_pages(mut self, pages: u64) -> Self {
         self.prefetch_cache_pages = pages;
@@ -254,7 +279,10 @@ impl SimConfig {
     }
 
     /// Overrides the RNG seed.
-    #[deprecated(since = "0.2.0", note = "use SimConfig::to_builder().seed(..)")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "replaced by `SimConfigBuilder::seed`; start from `SimConfig::to_builder()`"
+    )]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -263,7 +291,8 @@ impl SimConfig {
     /// Overrides per-process isolation.
     #[deprecated(
         since = "0.2.0",
-        note = "use SimConfig::to_builder().per_process_isolation(..)"
+        note = "replaced by `SimConfigBuilder::per_process_isolation`; start from \
+                `SimConfig::to_builder()`"
     )]
     pub fn with_isolation(mut self, isolated: bool) -> Self {
         self.per_process_isolation = isolated;
@@ -306,6 +335,7 @@ impl SimConfig {
                 "\"history_size\":{},",
                 "\"max_prefetch_window\":{},",
                 "\"cores\":{},",
+                "\"sched_quantum_ns\":{},",
                 "\"per_process_isolation\":{},",
                 "\"seed\":{},",
                 "\"backend_read_latency_ns\":{},",
@@ -321,6 +351,7 @@ impl SimConfig {
             self.history_size,
             self.max_prefetch_window,
             self.cores,
+            self.sched_quantum.as_nanos(),
             self.per_process_isolation,
             self.seed,
             opt_nanos(self.backend_read_latency),
@@ -394,6 +425,9 @@ impl SimConfig {
                 "history_size" => config.history_size = parse_num::<usize>(value)?,
                 "max_prefetch_window" => config.max_prefetch_window = parse_num::<usize>(value)?,
                 "cores" => config.cores = parse_num::<usize>(value)?,
+                "sched_quantum_ns" => {
+                    config.sched_quantum = Nanos::from_nanos(parse_num::<u64>(value)?)
+                }
                 "per_process_isolation" => config.per_process_isolation = parse_bool(value)?,
                 "seed" => config.seed = parse_num::<u64>(value)?,
                 "backend_read_latency_ns" => {
@@ -572,6 +606,7 @@ mod tests {
             .history_size(16)
             .max_prefetch_window(4)
             .cores(12)
+            .sched_quantum(Nanos::from_micros(333))
             .per_process_isolation(true)
             .seed(1234)
             .backend_read_latency(Nanos::from_micros(7))
@@ -611,6 +646,10 @@ mod tests {
         assert!(matches!(
             SimConfig::from_json("{\"cores\":0}"),
             Err(ConfigError::ZeroCores)
+        ));
+        assert!(matches!(
+            SimConfig::from_json("{\"sched_quantum_ns\":0}"),
+            Err(ConfigError::ZeroQuantum)
         ));
     }
 }

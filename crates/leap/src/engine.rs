@@ -2,24 +2,35 @@
 //!
 //! Everything the two front-ends ([`crate::VmmSimulator`],
 //! [`crate::VfsSimulator`]) have in common lives here: the simulation clock,
-//! the swap/prefetch cache, the per-process prefetcher tracker, the data
-//! path, the eviction policy, result accumulation, and the round-robin core
-//! cursor. The front-ends keep only what genuinely differs — page tables,
-//! swap space and cgroup limits for the VMM; the cache budget for the VFS —
-//! and drive the core through the helpers below, so hit/miss accounting and
-//! eviction bookkeeping are implemented exactly once.
+//! the (possibly per-core sharded) swap/prefetch cache, the per-process
+//! prefetcher tracker, the data path, the per-shard eviction policies,
+//! result accumulation, and the core bookkeeping. The front-ends keep only
+//! what genuinely differs — page tables, swap space and cgroup limits for
+//! the VMM; the cache budget for the VFS — and drive the core through the
+//! helpers below, so hit/miss accounting and eviction bookkeeping are
+//! implemented exactly once.
+//!
+//! Single-process replays run the core in its legacy layout: one cache
+//! shard, one evictor, one monotonic clock. Scheduled multi-process replays
+//! ([`crate::Simulator::run_multi`]) call
+//! [`EngineCore::enter_scheduled_mode`] first, which reshapes the cache into
+//! per-core shards, builds one eviction-policy instance per shard, switches
+//! the tracker to per-core trend state, and lets the scheduler drive the
+//! clock per core via [`EngineCore::switch_core`].
 
 use crate::builder::SimSetup;
+use crate::components::EvictionFactory;
 use crate::config::SimConfig;
 use crate::result::RunResult;
 use crate::session::{AccessOutcome, FaultEvent};
 use crate::tracker::PageAccessTracker;
 use leap_datapath::{DataPath, PathLatency};
 use leap_eviction::{CacheEvictor, EvictionReport};
-use leap_mem::{CacheEntry, CacheOrigin, Pid, SwapCache, SwapSlot};
+use leap_mem::{CacheEntry, CacheOrigin, Pid, ShardedSwapCache, SwapSlot};
 use leap_prefetcher::PageAddr;
 use leap_sim_core::{DetRng, Nanos, SimClock};
 use leap_workloads::{Access, AccessTrace};
+use std::sync::Arc;
 
 /// Shared state and bookkeeping of one simulation run.
 #[derive(Debug)]
@@ -27,13 +38,16 @@ pub(crate) struct EngineCore {
     pub config: SimConfig,
     pub label: String,
     pub clock: SimClock,
-    pub cache: SwapCache,
+    pub cache: ShardedSwapCache,
     pub tracker: PageAccessTracker,
     pub data_path: Box<dyn DataPath>,
-    pub evictor: Box<dyn CacheEvictor>,
+    pub evictors: Vec<Box<dyn CacheEvictor>>,
     pub result: RunResult,
     pub seq: u64,
+    eviction_factory: Arc<dyn EvictionFactory>,
     core_cursor: usize,
+    active_core: usize,
+    scheduled: bool,
 }
 
 impl EngineCore {
@@ -46,16 +60,63 @@ impl EngineCore {
         let components = setup.components();
         EngineCore {
             clock: SimClock::new(),
-            cache: SwapCache::new(config.prefetch_cache_pages),
+            cache: ShardedSwapCache::single(config.prefetch_cache_pages),
             tracker: PageAccessTracker::new(components.prefetcher.clone(), &config),
             data_path: components.data_path.build(&config, &mut rng),
-            evictor: components.eviction.build(&config),
+            evictors: vec![components.eviction.build(&config)],
+            eviction_factory: components.eviction.clone(),
             result: RunResult::default(),
             seq: 0,
             core_cursor: 0,
+            active_core: 0,
+            scheduled: false,
             label: setup.label(),
             config,
         }
+    }
+
+    /// Reshapes the engine for a scheduled multi-core replay: `cache_shards`
+    /// cache shards routed by slot-region width `span`, one eviction-policy
+    /// instance per shard, per-core prefetcher trend state, and
+    /// scheduler-driven per-core clocks.
+    ///
+    /// A bounded prefetch-cache capacity is split evenly over the shards
+    /// (never below one full prefetch window per shard, so a single batch
+    /// cannot evict itself).
+    pub fn enter_scheduled_mode(&mut self, cache_shards: usize, span: u64) {
+        let per_shard = if self.config.prefetch_cache_pages == u64::MAX {
+            u64::MAX
+        } else {
+            (self.config.prefetch_cache_pages / cache_shards as u64)
+                .max(self.config.max_prefetch_window as u64)
+        };
+        self.cache = ShardedSwapCache::new(cache_shards, per_shard, span);
+        self.evictors = (0..cache_shards)
+            .map(|_| self.eviction_factory.build(&self.config))
+            .collect();
+        self.tracker.set_per_core(true);
+        self.scheduled = true;
+    }
+
+    /// The core the in-flight access is attributed to (always 0 outside
+    /// scheduled mode).
+    pub fn active_core(&self) -> usize {
+        self.active_core
+    }
+
+    /// Moves the engine onto `core` at that core's local time. Called by the
+    /// scheduler before every access of a scheduled replay; the clock may
+    /// jump backwards across cores (each core has its own timeline).
+    pub fn switch_core(&mut self, core: usize, now: Nanos) {
+        self.active_core = core;
+        self.clock = SimClock::starting_at(now);
+    }
+
+    /// Pins the clock to the replay's completion instant (the latest core's
+    /// local time) so [`EngineCore::into_result`] reports the parallel
+    /// makespan rather than the last-stepped core's time.
+    pub fn finish_at(&mut self, completion: Nanos) {
+        self.clock.advance_to(completion);
     }
 
     /// Stamps the result metadata from the traces about to be replayed.
@@ -74,9 +135,14 @@ impl EngineCore {
             .join("+")
     }
 
-    /// Picks the CPU core the next request is issued from (round-robin, as a
-    /// stand-in for the scheduler spreading threads over cores).
+    /// Picks the CPU core the next request is issued from. In scheduled mode
+    /// this is the core the scheduler placed the access on; otherwise a
+    /// round-robin cursor stands in for the kernel spreading threads over
+    /// cores.
     pub fn next_core(&mut self) -> usize {
+        if self.scheduled {
+            return self.active_core;
+        }
         self.core_cursor = (self.core_cursor + 1) % self.config.cores.max(1);
         self.core_cursor
     }
@@ -110,8 +176,8 @@ impl EngineCore {
     }
 
     /// Handles the accounting for a swap-cache hit by `pid`: cache/prefetch
-    /// statistics, prefetcher feedback, and the eviction policy's reaction.
-    /// Returns `true` if the policy freed the entry.
+    /// statistics, prefetcher feedback, and the owning shard's eviction
+    /// policy's reaction. Returns `true` if the policy freed the entry.
     pub fn note_cache_hit(&mut self, pid: Pid, slot: SwapSlot, entry: &CacheEntry) -> bool {
         let now = self.clock.now();
         match entry.origin {
@@ -120,49 +186,98 @@ impl EngineCore {
                 self.result
                     .prefetch_stats
                     .record_prefetch_hit(now.saturating_sub(entry.inserted_at));
-                self.tracker.on_prefetch_hit(pid, PageAddr(slot.0));
+                self.tracker
+                    .on_prefetch_hit_at(pid, self.active_core, PageAddr(slot.0));
             }
             CacheOrigin::Demand => {
                 self.result.cache_stats.record_demand_hit();
             }
         }
-        self.evictor.on_hit(slot, entry.origin, &mut self.cache)
+        let shard = self.cache.shard_of(slot);
+        self.evictors[shard].on_hit(slot, entry.origin, self.cache.shard_mut(shard))
     }
 
-    /// Makes room for one page in a bounded prefetch cache. Returns `false`
-    /// when the policy could not free anything (the caller should skip its
-    /// insert).
-    pub fn make_cache_space(&mut self) -> bool {
-        if !self.cache.is_full() {
+    /// Consults the prefetcher for `pid`'s fault at `addr` on the active
+    /// core.
+    pub fn prefetch_decision(
+        &mut self,
+        pid: Pid,
+        addr: PageAddr,
+    ) -> leap_prefetcher::PrefetchDecision {
+        self.tracker.on_fault_at(pid, self.active_core, addr)
+    }
+
+    /// Makes room for `slot` in its (bounded) cache shard. Returns `false`
+    /// when the shard's policy could not free anything (the caller should
+    /// skip its insert).
+    pub fn make_cache_space(&mut self, slot: SwapSlot) -> bool {
+        let shard = self.cache.shard_of(slot);
+        if !self.cache.shard(shard).is_full() {
             return true;
         }
+        self.force_evict(shard)
+    }
+
+    /// Runs one eviction pass of `shard`'s policy and books its effects.
+    /// Returns `true` if anything was freed.
+    pub fn force_evict(&mut self, shard: usize) -> bool {
         let now = self.clock.now();
-        let report = self.evictor.make_space(&mut self.cache, 1, now);
+        let report = self.evictors[shard].make_space(self.cache.shard_mut(shard), 1, now);
         let freed = !report.is_empty();
         self.record_eviction_report(&report);
         freed
     }
 
-    /// Inserts a prefetched page into the cache (the transfer itself has
-    /// already been issued over the data path) and updates every counter.
-    /// Returns `true` if the insert took place.
+    /// Inserts a prefetched page into its cache shard (the transfer itself
+    /// has already been issued over the data path) and updates every
+    /// counter. Returns `true` if the insert took place.
     pub fn insert_prefetched(&mut self, slot: SwapSlot, owner: Pid) -> bool {
         let now = self.clock.now();
         if self.cache.insert(slot, owner, CacheOrigin::Prefetch, now) {
             self.result.cache_stats.record_add(1);
             self.result.prefetch_stats.record_prefetched(1);
-            self.evictor.on_insert(slot, CacheOrigin::Prefetch);
+            let shard = self.cache.shard_of(slot);
+            self.evictors[shard].on_insert(slot, CacheOrigin::Prefetch);
             true
         } else {
             false
         }
     }
 
-    /// Runs the eviction policy's background reclaimer (a no-op for
+    /// Inserts a demand-fetched page into its cache shard, notifying the
+    /// shard's eviction policy. Returns `true` if the insert took place.
+    pub fn insert_demand(&mut self, slot: SwapSlot, owner: Pid) -> bool {
+        let now = self.clock.now();
+        if self.cache.insert(slot, owner, CacheOrigin::Demand, now) {
+            let shard = self.cache.shard_of(slot);
+            self.evictors[shard].on_insert(slot, CacheOrigin::Demand);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pages the active shard's reclaimer currently tracks (what a direct
+    /// reclaim on the faulting core would have to scan).
+    pub fn reclaim_scan_pages(&self) -> u64 {
+        let shard = self.active_core.min(self.evictors.len() - 1);
+        self.evictors[shard].tracked_pages()
+    }
+
+    /// Runs the active core's shard's background reclaimer (a no-op for
     /// policies without one) and books its effects.
+    ///
+    /// Only the active shard is scanned: each shard's entry timestamps live
+    /// on its own core's timeline, so reclaiming another core's shard at
+    /// this core's local time would pollute the wait statistics with
+    /// cross-timeline deltas. (Legacy single-shard runs are unaffected —
+    /// there is exactly one shard and one clock.)
     pub fn background_reclaim(&mut self) {
         let now = self.clock.now();
-        if let Some(report) = self.evictor.background_reclaim(&mut self.cache, now) {
+        let shard = self.active_core.min(self.evictors.len() - 1);
+        if let Some(report) =
+            self.evictors[shard].background_reclaim(self.cache.shard_mut(shard), now)
+        {
             self.record_eviction_report(&report);
         }
     }
@@ -188,6 +303,7 @@ impl EngineCore {
         let event = FaultEvent {
             seq: self.seq,
             pid,
+            core: self.active_core,
             page: access.page,
             is_write: access.is_write,
             outcome,

@@ -18,6 +18,10 @@ pub enum ConfigError {
     ZeroPrefetchWindow,
     /// `cores` must be nonzero (there is at least one dispatch queue).
     ZeroCores,
+    /// `sched_quantum` must be nonzero: a zero-length time slice would make
+    /// the multi-process scheduler context-switch after every access without
+    /// any process ever making progress within a slice.
+    ZeroQuantum,
     /// `prefetch_cache_pages` must be nonzero; a zero-capacity cache would
     /// silently disable prefetching while the prefetcher still pays for it.
     ZeroPrefetchCache,
@@ -66,6 +70,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroHistorySize => write!(f, "history_size must be nonzero"),
             ConfigError::ZeroPrefetchWindow => write!(f, "max_prefetch_window must be nonzero"),
             ConfigError::ZeroCores => write!(f, "cores must be nonzero"),
+            ConfigError::ZeroQuantum => write!(f, "sched_quantum must be nonzero"),
             ConfigError::ZeroPrefetchCache => write!(f, "prefetch_cache_pages must be nonzero"),
             ConfigError::CacheSmallerThanWindow {
                 cache_pages,

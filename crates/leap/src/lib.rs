@@ -21,6 +21,13 @@
 //! drives either simulator access by access, emitting a
 //! [`session::FaultEvent`] per access to [`session::Observer`] hooks.
 //!
+//! Multi-process replays ([`session::Simulator::run_multi`]) time-share the
+//! processes over [`SimConfig::cores`] cores with the deterministic
+//! scheduler in [`sched`]; the VMM front-end shards its swap space, prefetch
+//! cache, eviction state, and prefetcher trends per core, and every
+//! [`session::FaultEvent`] carries the core it ran on so per-core streams
+//! (Figure 13 scale-up curves) come straight out of the observer API.
+//!
 //! # Quick start
 //!
 //! Configurations are built with the validated [`SimConfig::builder`]
@@ -55,12 +62,15 @@
 //! ([`leap_prefetcher::PrefetcherKind`], [`DataPathKind`],
 //! [`EvictionPolicy`]) are themselves just registry entries.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod components;
 pub mod config;
 mod engine;
 pub mod error;
 pub mod result;
+pub mod sched;
 pub mod session;
 pub mod tracker;
 pub mod vfs;
@@ -73,8 +83,10 @@ pub use components::{
 pub use config::{DataPathKind, EvictionPolicy, SimConfig};
 pub use error::ConfigError;
 pub use result::RunResult;
+pub use sched::{CoreScheduler, ScheduledSlot};
 pub use session::{
-    AccessOutcome, FaultEvent, HistogramObserver, Observer, OutcomeCounts, Session, Simulator,
+    AccessOutcome, CoreActivity, CoreStats, EventLog, FaultEvent, HistogramObserver, Observer,
+    OutcomeCounts, Session, Simulator,
 };
 pub use tracker::PageAccessTracker;
 pub use vfs::VfsSimulator;
@@ -89,8 +101,10 @@ pub mod prelude {
     pub use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
     pub use crate::error::ConfigError;
     pub use crate::result::RunResult;
+    pub use crate::sched::CoreScheduler;
     pub use crate::session::{
-        AccessOutcome, FaultEvent, HistogramObserver, Observer, OutcomeCounts, Session, Simulator,
+        AccessOutcome, CoreActivity, CoreStats, EventLog, FaultEvent, HistogramObserver, Observer,
+        OutcomeCounts, Session, Simulator,
     };
     pub use crate::tracker::PageAccessTracker;
     pub use crate::vfs::VfsSimulator;

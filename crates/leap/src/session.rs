@@ -9,9 +9,16 @@
 //! step sequence — so figures can be computed from the stream with
 //! numerically identical output (see `leap-bench`'s Figure 2/7 percentile
 //! rows).
+//!
+//! Multi-process replays ([`Simulator::run_multi`]) are driven by the
+//! time-sliced per-core scheduler in [`crate::sched`]: every [`FaultEvent`]
+//! carries the core it ran on, so per-core streams (and Figure 13-style
+//! scale-up curves) fall out of the same observer machinery — see
+//! [`CoreActivity`] and [`EventLog`].
 
 use crate::config::SimConfig;
 use crate::result::RunResult;
+use crate::sched;
 use leap_mem::{CacheOrigin, Pid};
 use leap_metrics::LatencyHistogram;
 use leap_sim_core::Nanos;
@@ -52,6 +59,11 @@ pub struct FaultEvent {
     pub seq: u64,
     /// The accessing process.
     pub pid: Pid,
+    /// The CPU core the access ran on. Scheduled multi-process replays
+    /// ([`Simulator::run_multi`]) report the scheduler's core placement;
+    /// single-process and interleaved replays attribute everything to
+    /// core 0.
+    pub core: usize,
     /// The virtual page (VMM) or file page (VFS) touched.
     pub page: u64,
     /// Whether the access was a write.
@@ -60,7 +72,9 @@ pub struct FaultEvent {
     pub outcome: AccessOutcome,
     /// Latency charged to the access (what the latency histograms record).
     pub latency: Nanos,
-    /// Simulated time when the access completed.
+    /// Simulated time when the access completed. In scheduled multi-core
+    /// replays this is the *core-local* time, so it is monotonic per core
+    /// but not across the whole event stream.
     pub completed_at: Nanos,
     /// Prefetch candidates issued on the back of this access.
     pub prefetches_issued: u32,
@@ -79,8 +93,9 @@ pub trait Observer {
 ///
 /// The required methods are the stepwise core ([`Simulator::prepare`], then
 /// [`Simulator::step_access`] per access, then [`Simulator::into_result`]);
-/// the batch entry points [`Simulator::run`] and [`Simulator::run_multi`]
-/// are provided on top of them, as is the observable [`Session`] wrapper.
+/// the batch entry points [`Simulator::run`], [`Simulator::run_multi`] and
+/// [`Simulator::run_interleaved`] are provided on top of them, as is the
+/// observable [`Session`] wrapper.
 pub trait Simulator: Sized {
     /// The configuration this simulator was built with.
     fn config(&self) -> &SimConfig;
@@ -92,6 +107,13 @@ pub trait Simulator: Sized {
     /// `traces` becomes `Pid(i + 1)`) and stamps the result metadata.
     fn prepare(&mut self, traces: &[AccessTrace]);
 
+    /// Like [`Simulator::prepare`], but for a scheduled multi-core replay:
+    /// front-ends that shard state per core do so here. The default just
+    /// delegates to `prepare`.
+    fn prepare_multi(&mut self, traces: &[AccessTrace]) {
+        self.prepare(traces);
+    }
+
     /// Replays the working set once without recording metrics (the paper's
     /// allocate-and-initialise phase). Front-ends without that notion keep
     /// the default no-op.
@@ -99,6 +121,19 @@ pub trait Simulator: Sized {
 
     /// Executes one access for `pid`, charging its latency, and describes it.
     fn step_access(&mut self, pid: Pid, access: Access) -> FaultEvent;
+
+    /// The current simulated instant (the active core's local clock).
+    fn now(&self) -> Nanos;
+
+    /// Moves the simulator onto `core` at that core's local time `now`.
+    /// Called by the scheduler before every access of a scheduled replay;
+    /// front-ends without per-core state keep the default no-op.
+    fn switch_core(&mut self, _core: usize, _now: Nanos) {}
+
+    /// Pins the finished replay's completion time to `completion` (the
+    /// latest core's local clock), so the result reports the parallel
+    /// makespan. Front-ends without per-core clocks keep the default no-op.
+    fn finish_multi(&mut self, _completion: Nanos) {}
 
     /// Finishes the run and returns the accumulated result.
     fn into_result(self) -> RunResult;
@@ -112,13 +147,43 @@ pub trait Simulator: Sized {
         self.into_result()
     }
 
-    /// Replays an interleaved multi-process schedule (as produced by
-    /// [`leap_workloads::interleave`]). How per-process state is sized is up
-    /// to the front-end's [`Simulator::prepare`]: the VMM gives each process
-    /// a cgroup-style limit from its own trace (the paper's per-application
-    /// limits), while the VFS constrains one shared cache budget by the
-    /// combined working set.
-    fn run_multi(mut self, traces: &[AccessTrace], schedule: &[InterleavedStep]) -> RunResult {
+    /// Replays `traces` as N concurrent processes time-shared over
+    /// [`SimConfig::cores`] cores by the deterministic scheduler in
+    /// [`crate::sched`]: per-core run queues, one
+    /// [`SimConfig::sched_quantum`] time slice per turn, per-core sharded
+    /// swap/cache state in front-ends that support it (the VMM). Process `i`
+    /// in `traces` becomes `Pid(i + 1)`.
+    ///
+    /// The reported completion time is the *makespan* — the local time of
+    /// the latest core — so throughput scales with cores the way the
+    /// paper's Figure 13 setup does. Equal seeds (and quantum) reproduce
+    /// the schedule, the per-core [`FaultEvent`] streams, and every
+    /// aggregate statistic exactly.
+    fn run_multi(mut self, traces: &[AccessTrace]) -> RunResult {
+        self.prepare_multi(traces);
+        let lens: Vec<usize> = traces.iter().map(|t| t.len()).collect();
+        let config = self.config();
+        let (cores, quantum, seed) = (config.cores, config.sched_quantum, config.seed);
+        let completion = sched::drive_schedule(&lens, cores, quantum, seed, |slot| {
+            self.switch_core(slot.core, slot.now);
+            let access = traces[slot.process].accesses()[slot.access_index];
+            self.step_access(Pid(slot.process as u32 + 1), access);
+            self.now()
+        });
+        self.finish_multi(completion);
+        self.into_result()
+    }
+
+    /// Replays a pre-merged multi-process schedule (as produced by
+    /// [`leap_workloads::interleave`]) on one serial timeline — the
+    /// trace-granularity interleaving [`Simulator::run_multi`] used before
+    /// the time-sliced scheduler existed. Kept for experiments that need an
+    /// explicit, externally-chosen access order.
+    fn run_interleaved(
+        mut self,
+        traces: &[AccessTrace],
+        schedule: &[InterleavedStep],
+    ) -> RunResult {
         self.prepare(traces);
         for step in schedule {
             self.step_access(Pid(step.process as u32 + 1), step.access);
@@ -230,8 +295,30 @@ impl<'obs, S: Simulator> Session<'obs, S> {
         self.finish()
     }
 
-    /// Streamed equivalent of [`Simulator::run_multi`].
-    pub fn run_multi(mut self, traces: &[AccessTrace], schedule: &[InterleavedStep]) -> RunResult {
+    /// Streamed equivalent of [`Simulator::run_multi`]: the identical
+    /// time-sliced schedule (same scheduler, same seed), with every
+    /// per-core [`FaultEvent`] also fanned out to the observers.
+    pub fn run_multi(mut self, traces: &[AccessTrace]) -> RunResult {
+        self.sim.prepare_multi(traces);
+        let lens: Vec<usize> = traces.iter().map(|t| t.len()).collect();
+        let config = self.sim.config();
+        let (cores, quantum, seed) = (config.cores, config.sched_quantum, config.seed);
+        let completion = sched::drive_schedule(&lens, cores, quantum, seed, |slot| {
+            self.sim.switch_core(slot.core, slot.now);
+            let access = traces[slot.process].accesses()[slot.access_index];
+            self.step(Pid(slot.process as u32 + 1), access);
+            self.sim.now()
+        });
+        self.sim.finish_multi(completion);
+        self.finish()
+    }
+
+    /// Streamed equivalent of [`Simulator::run_interleaved`].
+    pub fn run_interleaved(
+        mut self,
+        traces: &[AccessTrace],
+        schedule: &[InterleavedStep],
+    ) -> RunResult {
         self.prepare(traces);
         for step in schedule {
             self.step(Pid(step.process as u32 + 1), step.access);
@@ -313,5 +400,130 @@ impl Observer for OutcomeCounts {
             AccessOutcome::BufferedWrite => self.buffered_writes += 1,
         }
         self.prefetches_issued += event.prefetches_issued as u64;
+    }
+}
+
+/// Per-core aggregates of one core's slice of the event stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Accesses this core completed.
+    pub accesses: u64,
+    /// Of those, remote page accesses.
+    pub remote_accesses: u64,
+    /// Prefetch candidates issued from this core.
+    pub prefetches_issued: u64,
+    /// The core's local time when its last access completed.
+    pub last_completed_at: Nanos,
+}
+
+/// An [`Observer`] splitting the event stream by core — the input for
+/// Figure 13-style scale-up curves (throughput vs process count over C
+/// cores), computed entirely from the stream.
+///
+/// # Examples
+///
+/// ```
+/// use leap::prelude::*;
+/// use leap_sim_core::units::MIB;
+///
+/// let traces = vec![
+///     leap_workloads::sequential_trace(2 * MIB, 1),
+///     leap_workloads::sequential_trace(2 * MIB, 1),
+/// ];
+/// let sim = SimConfig::builder().cores(2).seed(3).build_vmm().unwrap();
+/// let mut cores = CoreActivity::default();
+/// let result = sim.session().observe(&mut cores).run_multi(&traces);
+/// // Both processes ran, one per core, and the makespan reported by the
+/// // result is the latest core's local completion time.
+/// assert_eq!(cores.total_accesses(), result.total_accesses);
+/// assert_eq!(cores.completion_time(), result.completion_time);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CoreActivity {
+    per_core: Vec<CoreStats>,
+}
+
+impl CoreActivity {
+    /// Stats per core, indexed by core id (cores that never ran an access
+    /// are absent from the tail).
+    pub fn per_core(&self) -> &[CoreStats] {
+        &self.per_core
+    }
+
+    /// Number of cores that completed at least one access.
+    pub fn active_cores(&self) -> usize {
+        self.per_core.iter().filter(|c| c.accesses > 0).count()
+    }
+
+    /// Total accesses across all cores.
+    pub fn total_accesses(&self) -> u64 {
+        self.per_core.iter().map(|c| c.accesses).sum()
+    }
+
+    /// The stream's makespan: the latest per-core completion instant.
+    pub fn completion_time(&self) -> Nanos {
+        self.per_core
+            .iter()
+            .map(|c| c.last_completed_at)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Aggregate throughput over the makespan, in accesses per second.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        let secs = self.completion_time().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_accesses() as f64 / secs
+    }
+}
+
+impl Observer for CoreActivity {
+    fn on_event(&mut self, event: &FaultEvent) {
+        if event.core >= self.per_core.len() {
+            self.per_core.resize(event.core + 1, CoreStats::default());
+        }
+        let stats = &mut self.per_core[event.core];
+        stats.accesses += 1;
+        if event.outcome.is_remote() {
+            stats.remote_accesses += 1;
+        }
+        stats.prefetches_issued += event.prefetches_issued as u64;
+        stats.last_completed_at = stats.last_completed_at.max(event.completed_at);
+    }
+}
+
+/// An [`Observer`] recording the full event stream, with per-core views —
+/// what the scheduler-determinism tests compare run against run.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<FaultEvent>,
+}
+
+impl EventLog {
+    /// Every event, in global replay order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events that ran on `core`, in that core's replay order.
+    pub fn for_core(&self, core: usize) -> Vec<FaultEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.core == core)
+            .collect()
+    }
+
+    /// The highest core id observed plus one (0 for an empty log).
+    pub fn cores_seen(&self) -> usize {
+        self.events.iter().map(|e| e.core + 1).max().unwrap_or(0)
+    }
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, event: &FaultEvent) {
+        self.events.push(*event);
     }
 }

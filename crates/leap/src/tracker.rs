@@ -7,6 +7,12 @@
 //! with isolation every process gets its own prefetcher instance; without it
 //! all processes share one.
 //!
+//! For scheduled multi-core replays the tracker additionally shards by core
+//! ([`PageAccessTracker::set_per_core`]): trend state is then keyed by
+//! `(process, core)`, matching the per-CPU majority-trend state the kernel
+//! implementation of Leap keeps so cores never contend on one history
+//! buffer.
+//!
 //! Prefetcher instances come from a [`PrefetcherFactory`], so any algorithm
 //! registered with the component registry — built-in or third-party — gets
 //! correct per-process isolation for free.
@@ -37,8 +43,12 @@ pub use crate::components::build_prefetcher;
 pub struct PageAccessTracker {
     factory: Arc<dyn PrefetcherFactory>,
     config: SimConfig,
-    per_process: HashMap<Pid, Box<dyn Prefetcher>>,
+    /// Isolated prefetcher instances, keyed by `(process, core)`. The core
+    /// component is always 0 unless [`PageAccessTracker::set_per_core`] has
+    /// switched the tracker into per-core mode.
+    per_process: HashMap<(Pid, usize), Box<dyn Prefetcher>>,
     shared: Box<dyn Prefetcher>,
+    per_core: bool,
 }
 
 impl PageAccessTracker {
@@ -54,6 +64,7 @@ impl PageAccessTracker {
             factory,
             config: *config,
             per_process: HashMap::new(),
+            per_core: false,
         }
     }
 
@@ -83,16 +94,39 @@ impl PageAccessTracker {
         self.config.per_process_isolation
     }
 
-    /// Number of per-process prefetcher instances created so far.
+    /// Switches per-core sharding of the trend state on or off. In per-core
+    /// mode every `(process, core)` pair gets its own prefetcher instance
+    /// (the kernel's per-CPU majority-trend state); otherwise the core a
+    /// fault arrives on is ignored.
+    pub fn set_per_core(&mut self, per_core: bool) {
+        self.per_core = per_core;
+    }
+
+    /// True if trend state is sharded by core.
+    pub fn is_per_core(&self) -> bool {
+        self.per_core
+    }
+
+    /// Number of distinct processes with isolated prefetcher state so far.
     pub fn tracked_processes(&self) -> usize {
+        let mut pids: Vec<Pid> = self.per_process.keys().map(|(pid, _)| *pid).collect();
+        pids.sort_unstable_by_key(|p| p.0);
+        pids.dedup();
+        pids.len()
+    }
+
+    /// Number of isolated prefetcher instances (one per `(process, core)`
+    /// pair in per-core mode, one per process otherwise).
+    pub fn tracked_instances(&self) -> usize {
         self.per_process.len()
     }
 
-    fn prefetcher_for(&mut self, pid: Pid) -> &mut Box<dyn Prefetcher> {
+    fn prefetcher_for(&mut self, pid: Pid, core: usize) -> &mut Box<dyn Prefetcher> {
         if self.config.per_process_isolation {
+            let key = (pid, if self.per_core { core } else { 0 });
             let (factory, config) = (&self.factory, &self.config);
             self.per_process
-                .entry(pid)
+                .entry(key)
                 .or_insert_with(|| factory.build(config))
         } else {
             &mut self.shared
@@ -100,14 +134,27 @@ impl PageAccessTracker {
     }
 
     /// Records a remote page fault by `pid` at swap offset `addr` and returns
-    /// the prefetch decision.
+    /// the prefetch decision (single-core replays: core 0).
     pub fn on_fault(&mut self, pid: Pid, addr: PageAddr) -> PrefetchDecision {
-        self.prefetcher_for(pid).on_fault(addr)
+        self.on_fault_at(pid, 0, addr)
     }
 
-    /// Records a prefetch-cache hit by `pid` at swap offset `addr`.
+    /// Records a remote page fault by `pid` running on `core` at swap offset
+    /// `addr` and returns the prefetch decision.
+    pub fn on_fault_at(&mut self, pid: Pid, core: usize, addr: PageAddr) -> PrefetchDecision {
+        self.prefetcher_for(pid, core).on_fault(addr)
+    }
+
+    /// Records a prefetch-cache hit by `pid` at swap offset `addr`
+    /// (single-core replays: core 0).
     pub fn on_prefetch_hit(&mut self, pid: Pid, addr: PageAddr) {
-        self.prefetcher_for(pid).on_prefetch_hit(addr);
+        self.on_prefetch_hit_at(pid, 0, addr);
+    }
+
+    /// Records a prefetch-cache hit by `pid` running on `core` at swap
+    /// offset `addr`.
+    pub fn on_prefetch_hit_at(&mut self, pid: Pid, core: usize, addr: PageAddr) {
+        self.prefetcher_for(pid, core).on_prefetch_hit(addr);
     }
 
     /// Resets all prefetcher state.
@@ -171,6 +218,27 @@ mod tests {
         assert!(
             last_p1_decision.is_empty() || last_p1_decision.speculative,
             "shared stream should not sustain confident prefetching: {last_p1_decision:?}"
+        );
+    }
+
+    #[test]
+    fn per_core_mode_keeps_cores_apart() {
+        let mut tracker = PageAccessTracker::from_kind(PrefetcherKind::Leap, 32, 8, true);
+        tracker.set_per_core(true);
+        assert!(tracker.is_per_core());
+        // The same process faults sequentially on core 0 while core 1 sees a
+        // scrambled stream; per-core state keeps core 0's trend intact.
+        let mut last = PrefetchDecision::none();
+        for i in 0..64u64 {
+            last = tracker.on_fault_at(Pid(1), 0, PageAddr(i));
+            let scrambled = (i * 7919 + 13) % 100_000 + 10_000;
+            let _ = tracker.on_fault_at(Pid(1), 1, PageAddr(scrambled));
+        }
+        assert_eq!(tracker.tracked_processes(), 1);
+        assert_eq!(tracker.tracked_instances(), 2);
+        assert!(
+            !last.is_empty(),
+            "core 0's sequential trend should survive core 1's noise"
         );
     }
 

@@ -18,7 +18,7 @@ use crate::config::SimConfig;
 use crate::engine::EngineCore;
 use crate::result::RunResult;
 use crate::session::{AccessOutcome, FaultEvent, Simulator};
-use leap_mem::{CacheOrigin, MemoryLimit, Pid, SwapSlot};
+use leap_mem::{MemoryLimit, Pid, SwapSlot};
 use leap_prefetcher::PageAddr;
 use leap_sim_core::units::PAGE_SIZE;
 use leap_sim_core::Nanos;
@@ -74,16 +74,9 @@ impl VfsSimulator {
     /// A buffered write: lands in the cache and is written back off the
     /// critical path.
     fn buffered_write(&mut self, pid: Pid, page: u64) -> Nanos {
-        let now = self.engine.clock.now();
         let slot = SwapSlot(page);
-        self.ensure_cache_room();
-        if self
-            .engine
-            .cache
-            .insert(slot, pid, CacheOrigin::Demand, now)
-        {
-            self.engine.evictor.on_insert(slot, CacheOrigin::Demand);
-        }
+        self.ensure_cache_room(slot);
+        self.engine.insert_demand(slot, pid);
         let _ = self.engine.write_remote(page);
         BUFFERED_WRITE
     }
@@ -111,25 +104,18 @@ impl VfsSimulator {
         let latency = VFS_CACHE_LOOKUP.saturating_add(breakdown.total());
 
         // Cache the demand-fetched page.
-        self.ensure_cache_room();
-        let now = self.engine.clock.now();
-        if self
-            .engine
-            .cache
-            .insert(slot, pid, CacheOrigin::Demand, now)
-        {
-            self.engine.evictor.on_insert(slot, CacheOrigin::Demand);
-        }
+        self.ensure_cache_room(slot);
+        self.engine.insert_demand(slot, pid);
 
         // Prefetch neighbouring file pages.
-        let decision = self.engine.tracker.on_fault(pid, PageAddr(page));
+        let decision = self.engine.prefetch_decision(pid, PageAddr(page));
         let mut issued = 0u32;
         for candidate in &decision.prefetch {
             let cslot = SwapSlot(candidate.0);
             if self.engine.cache.contains(cslot) {
                 continue;
             }
-            self.ensure_cache_room();
+            self.ensure_cache_room(cslot);
             let _ = self.engine.read_remote(candidate.0);
             if self.engine.insert_prefetched(cslot, pid) {
                 issued += 1;
@@ -138,19 +124,15 @@ impl VfsSimulator {
         (latency, AccessOutcome::RemoteFetch, issued)
     }
 
-    /// Frees cache space when the local budget or the configured prefetch
-    /// cache capacity is exhausted.
-    fn ensure_cache_room(&mut self) {
+    /// Frees cache space for `slot` when the local budget or the configured
+    /// prefetch cache capacity is exhausted.
+    fn ensure_cache_room(&mut self, slot: SwapSlot) {
         let over_budget = self.engine.cache.len() >= self.cache_budget.limit_pages();
-        if !self.engine.cache.is_full() && !over_budget {
+        if !self.engine.cache.is_full_for(slot) && !over_budget {
             return;
         }
-        let now = self.engine.clock.now();
-        let report = self
-            .engine
-            .evictor
-            .make_space(&mut self.engine.cache, 1, now);
-        self.engine.record_eviction_report(&report);
+        let shard = self.engine.cache.shard_of(slot);
+        self.engine.force_evict(shard);
     }
 }
 
@@ -171,6 +153,26 @@ impl Simulator for VfsSimulator {
             MemoryLimit::fraction_of(total_ws * PAGE_SIZE, self.engine.config.memory_fraction);
         self.engine
             .stamp_run(format!("vfs-{}", EngineCore::workload_name(traces)));
+    }
+
+    /// Prepares a scheduled replay. The VFS keeps one shared cache (its
+    /// budget models one file cache, not per-core swap regions) but still
+    /// gets per-core trend state and per-core clocks from the engine.
+    fn prepare_multi(&mut self, traces: &[AccessTrace]) {
+        self.prepare(traces);
+        self.engine.enter_scheduled_mode(1, u64::MAX);
+    }
+
+    fn now(&self) -> Nanos {
+        self.engine.clock.now()
+    }
+
+    fn switch_core(&mut self, core: usize, now: Nanos) {
+        self.engine.switch_core(core, now);
+    }
+
+    fn finish_multi(&mut self, completion: Nanos) {
+        self.engine.finish_at(completion);
     }
 
     fn step_access(&mut self, pid: Pid, access: Access) -> FaultEvent {

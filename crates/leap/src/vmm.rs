@@ -31,7 +31,7 @@ use crate::config::SimConfig;
 use crate::engine::EngineCore;
 use crate::result::RunResult;
 use crate::session::{AccessOutcome, FaultEvent, Simulator};
-use leap_mem::{FramePool, LruList, MemoryLimit, PageState, PageTable, Pid, SwapSpace, VirtPage};
+use leap_mem::{FramePool, LruList, MemoryLimit, PageState, PageTable, Pid, ShardedSwap, VirtPage};
 use leap_prefetcher::PageAddr;
 use leap_sim_core::units::PAGE_SIZE;
 use leap_sim_core::Nanos;
@@ -50,6 +50,9 @@ const FAST_MAP: Nanos = Nanos(400);
 /// Fixed software cost of swapping one page out (allocating the slot,
 /// unmapping, queueing the write-back, which itself completes asynchronously).
 const SWAP_OUT_OVERHEAD: Nanos = Nanos(1_000);
+/// Total swap-slot capacity; large enough to never be the binding
+/// constraint, halved so per-shard region arithmetic cannot overflow.
+const SWAP_CAPACITY: u64 = u64::MAX / 2;
 
 /// Per-process paging state.
 #[derive(Debug)]
@@ -70,7 +73,7 @@ pub struct VmmSimulator {
     engine: EngineCore,
     processes: HashMap<Pid, ProcessState>,
     frames: FramePool,
-    swap: SwapSpace,
+    swap: ShardedSwap,
 }
 
 impl VmmSimulator {
@@ -94,9 +97,11 @@ impl VmmSimulator {
             processes: HashMap::new(),
             // The frame pool is sized lazily per-process via MemoryLimit; the
             // global pool just needs to be large enough to never be the
-            // binding constraint.
+            // binding constraint. The swap space starts unsharded (one
+            // region); a scheduled multi-core replay reshards it in
+            // `prepare_multi`.
             frames: FramePool::new(u64::MAX / 2),
-            swap: SwapSpace::new(u64::MAX / 2),
+            swap: ShardedSwap::new(1, SWAP_CAPACITY),
         }
     }
 
@@ -164,7 +169,7 @@ impl VmmSimulator {
             self.engine.result.cache_stats.record_miss();
             let breakdown = self.engine.read_remote(slot.0);
             latency = breakdown.total();
-            let decision = self.engine.tracker.on_fault(pid, PageAddr(slot.0));
+            let decision = self.engine.prefetch_decision(pid, PageAddr(slot.0));
             prefetches_issued = self.issue_prefetches(&decision.prefetch);
             outcome = AccessOutcome::RemoteFetch;
             false
@@ -214,7 +219,7 @@ impl VmmSimulator {
             // Make room in a bounded prefetch cache (Figure 12): the
             // eviction policy decides what goes (unconsumed prefetches FIFO
             // under eager, LRU scan under lazy).
-            if !self.engine.make_cache_space() {
+            if !self.engine.make_cache_space(slot) {
                 continue;
             }
             // Issue the read; the transfer happens off the critical path, so
@@ -247,7 +252,7 @@ impl VmmSimulator {
         // because consumed prefetch pages are already gone. The scan batch is
         // bounded (kswapd reclaims in SWAP_CLUSTER_MAX-sized chunks), so the
         // wait is capped — the paper reports a ~750 ns average difference.
-        let scan_pages = self.engine.evictor.tracked_pages();
+        let scan_pages = self.engine.reclaim_scan_pages();
         let scan_wait = Nanos(80).saturating_add(Nanos(20) * scan_pages.min(64));
         wait = wait.saturating_add(scan_wait);
 
@@ -257,7 +262,10 @@ impl VmmSimulator {
                 process.resident_lru.pop_lru()
             };
             let Some(victim_page) = victim else { break };
-            let slot = match self.swap.allocate(pid, victim_page) {
+            // Slots come from the active core's shard region, so a core's
+            // sequential page-outs stay sequential in its own region.
+            let core = self.engine.active_core();
+            let slot = match self.swap.allocate_on(core, pid, victim_page) {
                 Some(s) => s,
                 None => break,
             };
@@ -311,6 +319,28 @@ impl Simulator for VmmSimulator {
             self.register_process(Pid(i as u32 + 1), trace.working_set_pages());
         }
         self.engine.stamp_run(EngineCore::workload_name(traces));
+    }
+
+    /// Prepares a scheduled replay: per-process state as in
+    /// [`Simulator::prepare`], then shards the swap space and the engine's
+    /// cache/eviction/trend state into one shard per configured core.
+    fn prepare_multi(&mut self, traces: &[AccessTrace]) {
+        self.prepare(traces);
+        let shards = self.engine.config.cores;
+        self.swap = ShardedSwap::new(shards, SWAP_CAPACITY);
+        self.engine.enter_scheduled_mode(shards, self.swap.span());
+    }
+
+    fn now(&self) -> Nanos {
+        self.engine.clock.now()
+    }
+
+    fn switch_core(&mut self, core: usize, now: Nanos) {
+        self.engine.switch_core(core, now);
+    }
+
+    fn finish_multi(&mut self, completion: Nanos) {
+        self.engine.finish_at(completion);
     }
 
     /// Touches every distinct page of `trace` once, in address order,
@@ -567,13 +597,13 @@ mod tests {
             .per_process_isolation(true)
             .build()
             .unwrap();
-        let isolated = VmmSimulator::new(isolated_config).run_multi(&traces, &schedule);
+        let isolated = VmmSimulator::new(isolated_config).run_interleaved(&traces, &schedule);
         let shared_config = SimConfig::builder()
             .memory_fraction(0.5)
             .per_process_isolation(false)
             .build()
             .unwrap();
-        let shared = VmmSimulator::new(shared_config).run_multi(&traces, &schedule);
+        let shared = VmmSimulator::new(shared_config).run_interleaved(&traces, &schedule);
         assert!(isolated.remote_accesses > 0);
         // Isolation lets the sequential process keep its trend, so overall
         // prefetch coverage is at least as good as with shared state.
@@ -589,6 +619,85 @@ mod tests {
         assert_eq!(a.completion_time, b.completion_time);
         assert_eq!(a.remote_accesses, b.remote_accesses);
         assert_eq!(a.cache_stats, b.cache_stats);
+    }
+
+    #[test]
+    fn scheduled_run_multi_replays_every_access() {
+        let traces = vec![
+            sequential_trace(2 * MIB, 2),
+            stride_trace(2 * MIB, 10, 1),
+            sequential_trace(MIB, 2),
+        ];
+        let total: u64 = traces.iter().map(|t| t.len() as u64).sum();
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .cores(2)
+            .sched_quantum(Nanos::from_micros(200))
+            .seed(3)
+            .build()
+            .unwrap();
+        let result = VmmSimulator::new(config).run_multi(&traces);
+        assert_eq!(result.total_accesses, total);
+        assert!(result.remote_accesses > 0);
+        assert_eq!(
+            result.remote_accesses,
+            result.cache_stats.hits() + result.cache_stats.misses()
+        );
+    }
+
+    #[test]
+    fn scheduled_run_emits_events_on_multiple_cores() {
+        use crate::session::CoreActivity;
+        let traces: Vec<_> = (0..4)
+            .map(|i| {
+                AppModel::new(AppKind::Memcached, 20 + i)
+                    .with_working_set(2 * MIB)
+                    .with_accesses(2_000)
+                    .generate()
+            })
+            .collect();
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .cores(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut activity = CoreActivity::default();
+        let result = VmmSimulator::new(config)
+            .session()
+            .observe(&mut activity)
+            .run_multi(&traces);
+        assert!(activity.active_cores() >= 2, "work stayed on one core");
+        assert_eq!(activity.total_accesses(), result.total_accesses);
+        // The makespan the result reports is the latest core's local time.
+        assert_eq!(activity.completion_time(), result.completion_time);
+    }
+
+    #[test]
+    fn more_cores_shorten_the_makespan() {
+        let traces: Vec<_> = (0..4)
+            .map(|i| {
+                AppModel::new(AppKind::Memcached, 30 + i)
+                    .with_working_set(2 * MIB)
+                    .with_accesses(4_000)
+                    .generate()
+            })
+            .collect();
+        let at_cores = |cores: usize| {
+            let config = SimConfig::builder()
+                .memory_fraction(0.5)
+                .cores(cores)
+                .seed(9)
+                .build()
+                .unwrap();
+            VmmSimulator::new(config).run_multi(&traces).completion_time
+        };
+        let serial = at_cores(1);
+        let parallel = at_cores(4);
+        assert!(
+            parallel < serial,
+            "4 cores ({parallel:?}) should beat 1 core ({serial:?})"
+        );
     }
 
     #[test]

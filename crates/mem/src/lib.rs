@@ -15,12 +15,15 @@
 //!   ([`LruList`]).
 //! - [`swap_cache`]: the swap/prefetch cache ([`SwapCache`]) holding pages
 //!   brought in from the slower tier before they are mapped.
+//! - [`sharded`]: per-core shards of both ([`ShardedSwap`],
+//!   [`ShardedSwapCache`]) for the multi-core scheduled replays.
 //! - [`cgroup`]: cgroup-style per-process memory limits ([`MemoryLimit`]).
 
 pub mod cgroup;
 pub mod frames;
 pub mod lru;
 pub mod page_table;
+pub mod sharded;
 pub mod swap;
 pub mod swap_cache;
 pub mod types;
@@ -29,6 +32,7 @@ pub use cgroup::MemoryLimit;
 pub use frames::FramePool;
 pub use lru::LruList;
 pub use page_table::{PageState, PageTable};
+pub use sharded::{ShardedSwap, ShardedSwapCache};
 pub use swap::SwapSpace;
 pub use swap_cache::{CacheEntry, CacheOrigin, SwapCache};
 pub use types::{FrameId, Pid, SwapSlot, VirtPage};

@@ -26,6 +26,9 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SwapSpace {
+    /// First slot offset this space hands out (nonzero for the shards of a
+    /// [`crate::ShardedSwap`], which own disjoint slot regions).
+    base: u64,
     capacity: u64,
     /// Next slot to try for a fresh (never used) allocation; keeps the
     /// sequential layout the kernel aims for.
@@ -40,15 +43,31 @@ pub struct SwapSpace {
 }
 
 impl SwapSpace {
-    /// Creates a swap space with `capacity` slots.
+    /// Creates a swap space with `capacity` slots starting at offset 0.
     pub fn new(capacity: u64) -> Self {
+        SwapSpace::with_base(0, capacity)
+    }
+
+    /// Creates a swap space owning the slot region
+    /// `[base, base + capacity)`.
+    ///
+    /// Fresh allocations are handed out sequentially from `base`, so several
+    /// spaces with disjoint regions can coexist in one global slot namespace
+    /// (the per-core shards of [`crate::ShardedSwap`]).
+    pub fn with_base(base: u64, capacity: u64) -> Self {
         SwapSpace {
+            base,
             capacity,
-            next_fresh: 0,
+            next_fresh: base,
             free_slots: Vec::new(),
             owners: HashMap::new(),
             by_page: HashMap::new(),
         }
+    }
+
+    /// First slot offset of this space's region.
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Total slot capacity.
@@ -73,7 +92,7 @@ impl SwapSpace {
         if let Some(&slot) = self.by_page.get(&(pid, page)) {
             return Some(slot);
         }
-        let slot = if self.next_fresh < self.capacity {
+        let slot = if self.next_fresh < self.base.saturating_add(self.capacity) {
             let s = SwapSlot(self.next_fresh);
             self.next_fresh += 1;
             s

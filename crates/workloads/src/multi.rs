@@ -1,4 +1,4 @@
-//! Interleaving of several processes' traces (the Figure 13 experiment).
+//! Pre-merged interleaving of several processes' traces.
 //!
 //! When multiple applications page concurrently, their requests interleave in
 //! the shared swap space and on the network. The interleaver merges per-
@@ -6,6 +6,13 @@
 //! drawing the next process to run with a weight proportional to how many
 //! accesses it still has left — a simple model of fair time sharing that
 //! preserves each trace's internal order.
+//!
+//! This pre-merged, trace-granularity schedule is what the engine's
+//! `Simulator::run_interleaved` replays on one serial timeline. The
+//! Figure 13 experiments themselves use `Simulator::run_multi` instead,
+//! which time-shares the *un-merged* traces over per-core run queues with a
+//! quantum-based scheduler (see `leap::sched`) — use `interleave` when an
+//! experiment needs an explicit, externally-chosen global access order.
 
 use crate::trace::{Access, AccessTrace};
 use leap_sim_core::DetRng;

@@ -1,11 +1,19 @@
 //! Multi-tenant scenario: all four applications paging to remote memory at
-//! the same time (the paper's Figure 13 experiment).
+//! the same time (the paper's Figure 13 experiment), replayed by the
+//! time-sliced multi-core scheduler.
 //!
-//! The interesting effect is per-process isolation of the page access
-//! tracker: with one shared prefetcher (as in the stock kernel), the
-//! interleaved fault streams of four applications look random and prefetching
-//! collapses; with Leap's per-process tracking each application keeps its own
-//! trend.
+//! Two effects are on display:
+//!
+//! - **Per-process isolation** of the page access tracker: with one shared
+//!   prefetcher (as in the stock kernel) the interleaved fault streams of
+//!   four applications look random and prefetching collapses; with Leap's
+//!   per-process (and, on the scheduled path, per-core) tracking each
+//!   application keeps its own trend.
+//! - **Per-core sharding + scheduling**: each process is pinned to a run
+//!   queue, runs for a configurable quantum, and pages through its core's
+//!   own swap/cache shard. The per-core `FaultEvent` streams (observed via
+//!   `CoreActivity`) show how the work spread and give the makespan the
+//!   throughput numbers are computed from.
 //!
 //! Run with:
 //!
@@ -14,20 +22,22 @@
 //! ```
 
 use leap_repro::leap_metrics::TextTable;
-use leap_repro::leap_workloads::interleave;
+use leap_repro::leap_sim_core::Nanos;
 use leap_repro::prelude::*;
 
 fn main() {
     let accesses = 50_000;
+    let cores = 4;
+    let quantum = Nanos::from_micros(500);
     let traces: Vec<_> = AppKind::ALL
         .iter()
         .map(|&kind| AppModel::new(kind, 7).with_accesses(accesses).generate())
         .collect();
-    let schedule = interleave(&traces, 2024);
     println!(
-        "replaying {} interleaved accesses from {} applications\n",
-        schedule.len(),
-        traces.len()
+        "replaying {} accesses from {} applications over {cores} cores ({} us quantum)\n",
+        accesses * traces.len(),
+        traces.len(),
+        quantum.as_micros_f64(),
     );
 
     let mut table = TextTable::new(vec![
@@ -35,7 +45,8 @@ fn main() {
         "median remote access (us)",
         "p99 (us)",
         "prefetch coverage",
-        "completion (s)",
+        "makespan (s)",
+        "throughput (kops/s)",
     ])
     .with_title("All four applications running concurrently (50% memory each)");
 
@@ -45,6 +56,8 @@ fn main() {
             SimConfig::linux_defaults()
                 .to_builder()
                 .memory_fraction(0.5)
+                .cores(cores)
+                .sched_quantum(quantum)
                 .build()
                 .expect("valid config"),
         ),
@@ -52,6 +65,8 @@ fn main() {
             "D-VMM+Leap, shared tracker",
             SimConfig::builder()
                 .memory_fraction(0.5)
+                .cores(cores)
+                .sched_quantum(quantum)
                 .per_process_isolation(false)
                 .build()
                 .expect("valid config"),
@@ -60,20 +75,54 @@ fn main() {
             "D-VMM+Leap, per-process isolation",
             SimConfig::builder()
                 .memory_fraction(0.5)
+                .cores(cores)
+                .sched_quantum(quantum)
                 .build()
                 .expect("valid config"),
         ),
     ];
 
+    let mut leap_activity = None;
     for (label, config) in configs {
-        let mut result = VmmSimulator::new(config).run_multi(&traces, &schedule);
+        let is_leap_isolated = label.contains("isolation");
+        let mut activity = CoreActivity::default();
+        let mut result = VmmSimulator::new(config)
+            .session()
+            .observe(&mut activity)
+            .run_multi(&traces);
         table.add_row(vec![
             label.to_string(),
             format!("{:.2}", result.median_remote_latency().as_micros_f64()),
             format!("{:.2}", result.p99_remote_latency().as_micros_f64()),
             format!("{:.1}%", 100.0 * result.prefetch_stats.coverage()),
-            format!("{:.3}", result.completion_seconds()),
+            format!("{:.3}", activity.completion_time().as_secs_f64()),
+            format!("{:.1}", activity.throughput_ops_per_sec() / 1_000.0),
         ]);
+        if is_leap_isolated {
+            leap_activity = Some(activity);
+        }
     }
     println!("{table}");
+
+    // Per-core breakdown of the full-Leap run, straight from the stream.
+    if let Some(activity) = leap_activity {
+        let mut per_core = TextTable::new(vec![
+            "core",
+            "accesses",
+            "remote accesses",
+            "prefetches issued",
+            "local completion (s)",
+        ])
+        .with_title("Per-core event streams (D-VMM+Leap, per-process isolation)");
+        for (core, stats) in activity.per_core().iter().enumerate() {
+            per_core.add_row(vec![
+                format!("{core}"),
+                format!("{}", stats.accesses),
+                format!("{}", stats.remote_accesses),
+                format!("{}", stats.prefetches_issued),
+                format!("{:.3}", stats.last_completed_at.as_secs_f64()),
+            ]);
+        }
+        println!("{per_core}");
+    }
 }

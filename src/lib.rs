@@ -11,6 +11,10 @@
 //! - [`leap_workloads`] — trace generators.
 //! - [`leap_metrics`] — histograms, counters, and text tables.
 //! - [`leap_sim_core`] — clock, RNG, latency samplers.
+//!
+//! The README below is included verbatim so its examples compile and run
+//! under `cargo test --doc` and cannot rot.
+#![doc = include_str!("../README.md")]
 
 pub use leap;
 pub use leap_datapath;

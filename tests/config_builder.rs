@@ -110,11 +110,16 @@ fn simulator_trait_is_front_end_agnostic() {
 #[test]
 fn vfs_supports_multi_process_runs_via_the_trait() {
     let traces = vec![stride_trace(2 * MIB, 10, 1), stride_trace(2 * MIB, 3, 1)];
-    let schedule = interleave(&traces, 5);
+    let total: u64 = traces.iter().map(|t| t.len() as u64).sum();
     let config = SimConfig::builder().memory_fraction(0.5).build().unwrap();
-    let result = VfsSimulator::new(config).run_multi(&traces, &schedule);
-    assert_eq!(result.total_accesses, schedule.len() as u64);
+    // The time-sliced scheduler drives the replay...
+    let result = VfsSimulator::new(config).run_multi(&traces);
+    assert_eq!(result.total_accesses, total);
     assert!(result.workload.contains('+'));
+    // ...and an explicit pre-merged schedule still works via run_interleaved.
+    let schedule = interleave(&traces, 5);
+    let result = VfsSimulator::new(config).run_interleaved(&traces, &schedule);
+    assert_eq!(result.total_accesses, schedule.len() as u64);
 }
 
 #[test]

@@ -180,12 +180,11 @@ fn named_registration_resolves_through_a_registry() {
 
 #[test]
 fn custom_prefetcher_gets_per_process_isolation() {
-    // Two processes, isolation on: the factory must be invoked per process.
-    use leap_repro::leap_workloads::interleave;
+    // Two processes, isolation on: the factory must be invoked per process
+    // (the scheduled replay shards trend state per (process, core) too).
     let a = stride_trace(2 * MIB, 10, 2);
     let b = stride_trace(2 * MIB, 7, 2);
     let traces = vec![a, b];
-    let schedule = interleave(&traces, 9);
     let faults = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let result = SimConfig::builder()
         .memory_fraction(0.5)
@@ -195,7 +194,7 @@ fn custom_prefetcher_gets_per_process_isolation() {
         })
         .build_vmm()
         .expect("valid config")
-        .run_multi(&traces, &schedule);
+        .run_multi(&traces);
     assert!(result.remote_accesses > 0);
     assert_eq!(
         faults.load(std::sync::atomic::Ordering::Relaxed),

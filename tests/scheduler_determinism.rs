@@ -1,0 +1,174 @@
+//! Determinism of the time-sliced multi-core scheduler: the same seed and
+//! quantum must reproduce the per-core `FaultEvent` streams and every
+//! aggregate statistic exactly, across both front-ends.
+
+use leap_repro::leap_sim_core::units::MIB;
+use leap_repro::leap_sim_core::Nanos;
+use leap_repro::leap_workloads::{stride_trace, AccessTrace};
+use leap_repro::prelude::*;
+
+fn traces() -> Vec<AccessTrace> {
+    AppKind::ALL
+        .iter()
+        .take(3)
+        .map(|&kind| {
+            AppModel::new(kind, 13)
+                .with_working_set(4 * MIB)
+                .with_accesses(5_000)
+                .generate()
+        })
+        .collect()
+}
+
+fn config(seed: u64, quantum: Nanos) -> SimConfig {
+    SimConfig::builder()
+        .memory_fraction(0.5)
+        .cores(3)
+        .sched_quantum(quantum)
+        .seed(seed)
+        .build()
+        .expect("valid config")
+}
+
+fn run_logged(config: SimConfig, traces: &[AccessTrace]) -> (EventLog, RunResult) {
+    let mut log = EventLog::default();
+    let result = VmmSimulator::new(config)
+        .session()
+        .observe(&mut log)
+        .run_multi(traces);
+    (log, result)
+}
+
+#[test]
+fn same_seed_and_quantum_reproduce_per_core_event_streams() {
+    let traces = traces();
+    let config = config(21, Nanos::from_micros(300));
+    let (log_a, result_a) = run_logged(config, &traces);
+    let (log_b, result_b) = run_logged(config, &traces);
+
+    // The global stream is identical event for event...
+    assert_eq!(log_a.events().len(), log_b.events().len());
+    assert_eq!(log_a.events(), log_b.events());
+    // ...and therefore so is every per-core stream.
+    assert!(log_a.cores_seen() > 1, "expected work on several cores");
+    assert_eq!(log_a.cores_seen(), log_b.cores_seen());
+    for core in 0..log_a.cores_seen() {
+        assert_eq!(
+            log_a.for_core(core),
+            log_b.for_core(core),
+            "core {core} stream diverged"
+        );
+    }
+
+    // Aggregate statistics are identical too.
+    assert_eq!(result_a.completion_time, result_b.completion_time);
+    assert_eq!(result_a.total_accesses, result_b.total_accesses);
+    assert_eq!(result_a.remote_accesses, result_b.remote_accesses);
+    assert_eq!(result_a.cache_stats, result_b.cache_stats);
+    assert_eq!(result_a.pages_swapped_out, result_b.pages_swapped_out);
+}
+
+#[test]
+fn per_core_streams_are_monotonic_and_partition_the_run() {
+    let traces = traces();
+    let (log, result) = run_logged(config(4, Nanos::from_micros(250)), &traces);
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    assert_eq!(log.events().len(), total);
+    assert_eq!(result.total_accesses, total as u64);
+
+    let mut per_core_total = 0;
+    for core in 0..log.cores_seen() {
+        let stream = log.for_core(core);
+        per_core_total += stream.len();
+        // Core-local time never goes backwards within one core's stream.
+        assert!(
+            stream
+                .windows(2)
+                .all(|w| w[0].completed_at <= w[1].completed_at),
+            "core {core} local clock went backwards"
+        );
+    }
+    assert_eq!(per_core_total, total);
+
+    // A process never migrates between cores mid-run: one pass over the
+    // stream, pinning each pid to the first core it was seen on.
+    let mut core_of_pid = std::collections::HashMap::new();
+    for event in log.events() {
+        let pinned = *core_of_pid.entry(event.pid).or_insert(event.core);
+        assert_eq!(
+            pinned, event.core,
+            "pid {:?} ran on cores {pinned} and {}",
+            event.pid, event.core
+        );
+    }
+}
+
+#[test]
+fn seed_changes_the_schedule_but_not_the_volume() {
+    let traces = traces();
+    let (log_a, result_a) = run_logged(config(1, Nanos::from_micros(300)), &traces);
+    let (log_b, result_b) = run_logged(config(2, Nanos::from_micros(300)), &traces);
+    assert_eq!(result_a.total_accesses, result_b.total_accesses);
+    assert_ne!(
+        log_a.events(),
+        log_b.events(),
+        "different seeds should produce different schedules"
+    );
+}
+
+#[test]
+fn quantum_length_changes_the_interleaving() {
+    // Two processes pinned to one core: a short quantum alternates them, an
+    // effectively infinite quantum runs them back to back.
+    let traces = vec![stride_trace(2 * MIB, 10, 2), stride_trace(2 * MIB, 7, 2)];
+    let run = |quantum| {
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .cores(1)
+            .sched_quantum(quantum)
+            .seed(11)
+            .build()
+            .expect("valid config");
+        let mut log = EventLog::default();
+        VmmSimulator::new(config)
+            .session()
+            .observe(&mut log)
+            .run_multi(&traces);
+        log.events()
+            .windows(2)
+            .filter(|w| w[0].pid != w[1].pid)
+            .count()
+    };
+    let short = run(Nanos::from_micros(50));
+    let long = run(Nanos::from_secs(3_600));
+    assert_eq!(long, 1, "an infinite quantum should switch exactly once");
+    assert!(
+        short > 10,
+        "a 50 us quantum should interleave the processes, got {short} switches"
+    );
+}
+
+#[test]
+fn vfs_scheduled_runs_are_deterministic_too() {
+    let traces = vec![stride_trace(2 * MIB, 10, 1), stride_trace(2 * MIB, 3, 1)];
+    let config = SimConfig::builder()
+        .memory_fraction(0.5)
+        .cores(2)
+        .sched_quantum(Nanos::from_micros(200))
+        .seed(8)
+        .build()
+        .expect("valid config");
+    let run = || {
+        let mut log = EventLog::default();
+        let result = VfsSimulator::new(config)
+            .session()
+            .observe(&mut log)
+            .run_multi(&traces);
+        (log, result)
+    };
+    let (log_a, result_a) = run();
+    let (log_b, result_b) = run();
+    assert_eq!(log_a.events(), log_b.events());
+    assert_eq!(result_a.completion_time, result_b.completion_time);
+    assert_eq!(result_a.cache_stats, result_b.cache_stats);
+}

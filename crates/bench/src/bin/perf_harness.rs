@@ -1,0 +1,278 @@
+//! Wall-clock replay performance harness: serial vs thread-parallel replay.
+//!
+//! Replays the Figure 11 application mix and a large synthetic trace set
+//! through `Simulator::run_multi` in both [`ReplayMode`]s, measures host
+//! wall-clock time and replay throughput (pages replayed per second of host
+//! time), verifies the two modes produced identical simulated results, and
+//! writes the machine-readable trajectory file `BENCH_replay.json`.
+//!
+//! ```text
+//! cargo run --release -p leap-bench --bin perf_harness -- [--quick] \
+//!     [--cores N] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the traces for CI smoke runs. The reported speedup is
+//! `serial wall-clock / threaded wall-clock`; it scales with the host's
+//! available cores (the simulated results are bit-identical either way).
+
+use std::time::Instant;
+
+use leap::prelude::*;
+use leap_bench::EXPERIMENT_SEED;
+use leap_sim_core::units::MIB;
+use leap_sim_core::Nanos;
+use leap_workloads::{sequential_trace, stride_trace, AccessTrace};
+
+/// One workload's measurements in one replay mode.
+struct ModeMeasurement {
+    wall_ms: f64,
+    pages_per_sec: f64,
+    completion: Nanos,
+    remote_accesses: u64,
+    result: RunResult,
+}
+
+/// One workload's full row: both modes plus the derived speedup.
+struct WorkloadRow {
+    name: &'static str,
+    processes: usize,
+    accesses: u64,
+    serial: ModeMeasurement,
+    threaded: ModeMeasurement,
+    identical: bool,
+}
+
+fn config(cores: usize, mode: ReplayMode) -> SimConfig {
+    SimConfig::builder()
+        .memory_fraction(0.5)
+        .cores(cores)
+        .sched_quantum(Nanos::from_micros(500))
+        .seed(EXPERIMENT_SEED)
+        .replay_mode(mode)
+        .build()
+        .expect("valid harness config")
+}
+
+/// Replays `traces` once in `mode`, best-of-`repeats` wall-clock.
+fn measure(
+    traces: &[AccessTrace],
+    cores: usize,
+    mode: ReplayMode,
+    repeats: usize,
+) -> ModeMeasurement {
+    let accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let sim = VmmSimulator::new(config(cores, mode));
+        let start = Instant::now();
+        let result = sim.run_multi(traces);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(elapsed);
+        last = Some(result);
+    }
+    let result = last.expect("at least one repeat");
+    ModeMeasurement {
+        wall_ms: best_ms,
+        pages_per_sec: accesses as f64 / (best_ms / 1e3),
+        completion: result.completion_time,
+        remote_accesses: result.remote_accesses,
+        result,
+    }
+}
+
+/// True when two runs produced bit-identical simulated outcomes: every
+/// counter, the cache statistics, and the exact latency distributions.
+fn results_identical(a: &mut RunResult, b: &mut RunResult) -> bool {
+    a.completion_time == b.completion_time
+        && a.total_accesses == b.total_accesses
+        && a.remote_accesses == b.remote_accesses
+        && a.first_touch_faults == b.first_touch_faults
+        && a.pages_swapped_out == b.pages_swapped_out
+        && a.cache_stats == b.cache_stats
+        && a.prefetch_stats.pages_prefetched() == b.prefetch_stats.pages_prefetched()
+        && a.prefetch_stats.prefetch_hits() == b.prefetch_stats.prefetch_hits()
+        && a.access_latency.sorted_samples() == b.access_latency.sorted_samples()
+        && a.remote_access_latency.sorted_samples() == b.remote_access_latency.sorted_samples()
+        && a.allocation_wait.sorted_samples() == b.allocation_wait.sorted_samples()
+        && a.eviction_wait.sorted_samples() == b.eviction_wait.sorted_samples()
+}
+
+fn run_workload(
+    name: &'static str,
+    traces: Vec<AccessTrace>,
+    cores: usize,
+    repeats: usize,
+) -> WorkloadRow {
+    let accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let mut serial = measure(&traces, cores, ReplayMode::Serial, repeats);
+    let mut threaded = measure(&traces, cores, ReplayMode::Threaded, repeats);
+    // Both modes must agree on the full simulated outcome (every counter
+    // and the exact latency distributions) — this doubles as a determinism
+    // smoke check on every harness run.
+    let identical = results_identical(&mut serial.result, &mut threaded.result);
+    WorkloadRow {
+        name,
+        processes: traces.len(),
+        accesses,
+        serial,
+        threaded,
+        identical,
+    }
+}
+
+/// The Figure 11 application mix: all four paper applications side by side.
+fn app_mix(accesses: usize) -> Vec<AccessTrace> {
+    AppKind::ALL
+        .iter()
+        .map(|&kind| {
+            AppModel::new(kind, EXPERIMENT_SEED)
+                .with_working_set(8 * MIB)
+                .with_accesses(accesses)
+                .generate()
+        })
+        .collect()
+}
+
+/// A large synthetic set: four regular traces big enough that replay cost is
+/// dominated by the fault hot path.
+fn synthetic(accesses_per_proc: usize) -> Vec<AccessTrace> {
+    vec![
+        sequential_trace(16 * MIB, 1 + accesses_per_proc / 4096),
+        stride_trace(16 * MIB, 10, 1 + accesses_per_proc / 410),
+        sequential_trace(16 * MIB, 1 + accesses_per_proc / 4096),
+        stride_trace(16 * MIB, 7, 1 + accesses_per_proc / 586),
+    ]
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); 0 when unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn json_mode(m: &ModeMeasurement) -> String {
+    format!(
+        concat!(
+            "{{\"wall_ms\":{:.3},\"pages_per_sec\":{:.0},",
+            "\"sim_completion_ns\":{},\"remote_accesses\":{}}}"
+        ),
+        m.wall_ms,
+        m.pages_per_sec,
+        m.completion.as_nanos(),
+        m.remote_accesses,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cores = args
+        .iter()
+        .position(|a| a == "--cores")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_replay.json".to_string());
+
+    let (app_accesses, synth_accesses, repeats) = if quick {
+        (10_000, 20_000, 2)
+    } else {
+        (60_000, 150_000, 3)
+    };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "replay perf harness: {cores} shards on {host_cores} host core(s){}",
+        if quick { " [quick]" } else { "" }
+    );
+
+    let rows = vec![
+        run_workload("fig11-app-mix", app_mix(app_accesses), cores, repeats),
+        run_workload("synthetic-large", synthetic(synth_accesses), cores, repeats),
+    ];
+
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>14} {:>14} {:>8} {:>6}",
+        "workload",
+        "accesses",
+        "serial ms",
+        "threaded ms",
+        "serial pg/s",
+        "threaded pg/s",
+        "speedup",
+        "equal"
+    );
+    for row in &rows {
+        let speedup = row.serial.wall_ms / row.threaded.wall_ms;
+        println!(
+            "{:<16} {:>9} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>7.2}x {:>6}",
+            row.name,
+            row.accesses,
+            row.serial.wall_ms,
+            row.threaded.wall_ms,
+            row.serial.pages_per_sec,
+            row.threaded.pages_per_sec,
+            speedup,
+            row.identical,
+        );
+        assert!(
+            row.identical,
+            "{}: serial and threaded replays diverged",
+            row.name
+        );
+    }
+
+    let workloads_json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"processes\":{},\"accesses\":{},",
+                    "\"serial\":{},\"threaded\":{},",
+                    "\"speedup\":{:.3},\"identical_results\":{}}}"
+                ),
+                row.name,
+                row.processes,
+                row.accesses,
+                json_mode(&row.serial),
+                json_mode(&row.threaded),
+                row.serial.wall_ms / row.threaded.wall_ms,
+                row.identical,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"leap-replay-bench/1\",\"quick\":{},",
+            "\"shards\":{},\"host_cores\":{},\"peak_rss_kb\":{},",
+            "\"workloads\":[{}]}}\n"
+        ),
+        quick,
+        cores,
+        host_cores,
+        peak_rss_kb(),
+        workloads_json.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path} (peak RSS {} kB)", peak_rss_kb());
+}

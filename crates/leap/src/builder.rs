@@ -11,7 +11,7 @@
 
 use crate::components::{ComponentRegistry, ResolvedComponents};
 use crate::components::{DataPathFactory, EvictionFactory, PrefetcherFactory};
-use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
+use crate::config::{DataPathKind, EvictionPolicy, ReplayMode, SimConfig};
 use crate::error::ConfigError;
 use crate::vfs::VfsSimulator;
 use crate::vmm::VmmSimulator;
@@ -163,6 +163,44 @@ impl SimConfigBuilder {
     /// ```
     pub fn sched_quantum(mut self, quantum: Nanos) -> Self {
         self.config.sched_quantum = quantum;
+        self
+    }
+
+    /// Sets the simulated cost charged for one scheduler context switch in a
+    /// multi-process replay. Defaults to [`crate::sched::CONTEXT_SWITCH`]
+    /// (2 µs); validated against
+    /// [`MAX_CONTEXT_SWITCH`](crate::config::MAX_CONTEXT_SWITCH) so a unit
+    /// mistake (e.g. milliseconds passed as nanoseconds) fails at build time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use leap::prelude::*;
+    /// use leap_sim_core::Nanos;
+    ///
+    /// // Context-switch sensitivity ablation: a free switch vs a 20 µs one.
+    /// let free = SimConfig::builder()
+    ///     .context_switch_cost(Nanos::ZERO)
+    ///     .build()?;
+    /// assert_eq!(free.context_switch_cost, Nanos::ZERO);
+    /// let err = SimConfig::builder()
+    ///     .context_switch_cost(Nanos::from_secs(1))
+    ///     .build()
+    ///     .unwrap_err();
+    /// assert!(matches!(err, ConfigError::ContextSwitchTooLarge { .. }));
+    /// # Ok::<(), leap::ConfigError>(())
+    /// ```
+    pub fn context_switch_cost(mut self, cost: Nanos) -> Self {
+        self.config.context_switch_cost = cost;
+        self
+    }
+
+    /// Selects how multi-process replays execute: serially on one OS thread
+    /// (the reference) or with one OS thread per core shard
+    /// ([`ReplayMode::Threaded`]). Simulated results are bit-identical in
+    /// both modes; only wall-clock time differs.
+    pub fn replay_mode(mut self, mode: ReplayMode) -> Self {
+        self.config.replay_mode = mode;
         self
     }
 

@@ -5,8 +5,8 @@
 //! combination at [`build`](crate::SimConfigBuilder::build) time, or start
 //! from one of the canonical presets ([`SimConfig::linux_defaults`],
 //! [`SimConfig::leap_defaults`]) and refine via
-//! [`SimConfig::to_builder`]. The legacy `with_*` copy-setters survive one
-//! release as deprecated shims.
+//! [`SimConfig::to_builder`]. (The legacy `with_*` copy-setters, deprecated
+//! since 0.2.0, were removed in 0.4.0.)
 
 use crate::builder::SimConfigBuilder;
 use crate::error::ConfigError;
@@ -37,6 +37,48 @@ impl DataPathKind {
     /// configurations.
     pub fn from_label(label: &str) -> Option<Self> {
         [DataPathKind::LinuxDefault, DataPathKind::Leap]
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+}
+
+/// How a multi-process replay ([`crate::Simulator::run_multi`]) is executed.
+///
+/// Both modes run the *same* deterministic schedule over the same per-core
+/// shard state and produce bit-identical [`crate::RunResult`]s for a given
+/// seed; they differ only in what drives the shards:
+///
+/// - [`ReplayMode::Serial`] steps every core shard on one OS thread,
+///   interleaved by the time-sliced scheduler in [`crate::sched`]. This is
+///   the reference implementation.
+/// - [`ReplayMode::Threaded`] runs one OS thread per core shard (the shards
+///   share no mutable state), then deterministically merges the per-core
+///   event buffers by `(core, seq)` after the join. Wall-clock time scales
+///   with host cores; simulated results do not change.
+///
+/// Front-ends without per-core shard state (the VFS simulator) replay
+/// serially regardless of the configured mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayMode {
+    /// One OS thread steps all core shards, interleaved (the reference).
+    Serial,
+    /// One OS thread per core shard, merged deterministically after the join.
+    Threaded,
+}
+
+impl ReplayMode {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayMode::Serial => "serial",
+            ReplayMode::Threaded => "threaded",
+        }
+    }
+
+    /// The inverse of [`ReplayMode::label`], used when parsing serialized
+    /// configurations.
+    pub fn from_label(label: &str) -> Option<Self> {
+        [ReplayMode::Serial, ReplayMode::Threaded]
             .into_iter()
             .find(|k| k.label() == label)
     }
@@ -109,6 +151,15 @@ pub struct SimConfig {
     /// quantum of simulated time before the next process in that core's run
     /// queue is switched in.
     pub sched_quantum: Nanos,
+    /// Simulated cost of one context switch (register/TLB state plus the
+    /// scheduler's own bookkeeping), charged whenever a core's run queue
+    /// rotates. Defaults to [`crate::sched::CONTEXT_SWITCH`] (2 µs).
+    pub context_switch_cost: Nanos,
+    /// How multi-process replays execute: one thread interleaving all core
+    /// shards ([`ReplayMode::Serial`], the reference) or one OS thread per
+    /// core shard ([`ReplayMode::Threaded`]). Simulated results are
+    /// bit-identical either way.
+    pub replay_mode: ReplayMode,
     /// When several processes run, whether each gets its own isolated
     /// prefetcher state (Leap) or they share one (Linux's shared swap path).
     pub per_process_isolation: bool,
@@ -122,6 +173,11 @@ pub struct SimConfig {
     /// keeps the paper-calibrated distribution.
     pub backend_write_latency: Option<Nanos>,
 }
+
+/// Upper bound accepted for [`SimConfig::context_switch_cost`]. Real context
+/// switches cost single-digit microseconds; anything beyond 100 ms is almost
+/// certainly a unit mistake (ns vs ms), so validation rejects it.
+pub const MAX_CONTEXT_SWITCH: Nanos = Nanos::from_millis(100);
 
 impl SimConfig {
     /// Starts a validated builder from [`SimConfig::default`]
@@ -149,6 +205,8 @@ impl SimConfig {
             max_prefetch_window: 8,
             cores: 8,
             sched_quantum: Nanos::from_millis(1),
+            context_switch_cost: crate::sched::CONTEXT_SWITCH,
+            replay_mode: ReplayMode::Serial,
             per_process_isolation: false,
             seed: 42,
             backend_read_latency: None,
@@ -195,6 +253,12 @@ impl SimConfig {
         if self.sched_quantum == Nanos::ZERO {
             return Err(ConfigError::ZeroQuantum);
         }
+        if self.context_switch_cost > MAX_CONTEXT_SWITCH {
+            return Err(ConfigError::ContextSwitchTooLarge {
+                cost: self.context_switch_cost,
+                max: MAX_CONTEXT_SWITCH,
+            });
+        }
         if self.prefetch_cache_pages == 0 {
             return Err(ConfigError::ZeroPrefetchCache);
         }
@@ -213,90 +277,6 @@ impl SimConfig {
             return Err(ConfigError::ZeroBackendLatency { which: "write" });
         }
         Ok(())
-    }
-
-    /// Overrides the prefetcher.
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::prefetcher`; start from `SimConfig::to_builder()`"
-    )]
-    pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
-        self.prefetcher = prefetcher;
-        self
-    }
-
-    /// Overrides the data path.
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::data_path`; start from `SimConfig::to_builder()`"
-    )]
-    pub fn with_data_path(mut self, data_path: DataPathKind) -> Self {
-        self.data_path = data_path;
-        self
-    }
-
-    /// Overrides the backend.
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::backend`; start from `SimConfig::to_builder()`"
-    )]
-    pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.backend = backend;
-        self
-    }
-
-    /// Overrides the eviction policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::eviction`; start from `SimConfig::to_builder()`"
-    )]
-    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
-        self.eviction = eviction;
-        self
-    }
-
-    /// Overrides the local-memory fraction (clamped to `(0, 1]`; the builder
-    /// rejects out-of-range fractions instead of clamping).
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::memory_fraction` (which rejects rather than \
-                clamps out-of-range fractions); start from `SimConfig::to_builder()`"
-    )]
-    pub fn with_memory_fraction(mut self, fraction: f64) -> Self {
-        self.memory_fraction = fraction.clamp(0.01, 1.0);
-        self
-    }
-
-    /// Overrides the prefetch-cache capacity in pages.
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::prefetch_cache_pages`; start from \
-                `SimConfig::to_builder()`"
-    )]
-    pub fn with_prefetch_cache_pages(mut self, pages: u64) -> Self {
-        self.prefetch_cache_pages = pages;
-        self
-    }
-
-    /// Overrides the RNG seed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::seed`; start from `SimConfig::to_builder()`"
-    )]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Overrides per-process isolation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "replaced by `SimConfigBuilder::per_process_isolation`; start from \
-                `SimConfig::to_builder()`"
-    )]
-    pub fn with_isolation(mut self, isolated: bool) -> Self {
-        self.per_process_isolation = isolated;
-        self
     }
 
     /// A short label of the configuration for report rows, e.g.
@@ -336,6 +316,8 @@ impl SimConfig {
                 "\"max_prefetch_window\":{},",
                 "\"cores\":{},",
                 "\"sched_quantum_ns\":{},",
+                "\"context_switch_ns\":{},",
+                "\"replay_mode\":\"{}\",",
                 "\"per_process_isolation\":{},",
                 "\"seed\":{},",
                 "\"backend_read_latency_ns\":{},",
@@ -352,6 +334,8 @@ impl SimConfig {
             self.max_prefetch_window,
             self.cores,
             self.sched_quantum.as_nanos(),
+            self.context_switch_cost.as_nanos(),
+            self.replay_mode.label(),
             self.per_process_isolation,
             self.seed,
             opt_nanos(self.backend_read_latency),
@@ -427,6 +411,18 @@ impl SimConfig {
                 "cores" => config.cores = parse_num::<usize>(value)?,
                 "sched_quantum_ns" => {
                     config.sched_quantum = Nanos::from_nanos(parse_num::<u64>(value)?)
+                }
+                "context_switch_ns" => {
+                    config.context_switch_cost = Nanos::from_nanos(parse_num::<u64>(value)?)
+                }
+                "replay_mode" => {
+                    config.replay_mode =
+                        ReplayMode::from_label(parse_str(value)?).ok_or_else(|| {
+                            ConfigError::UnknownComponent {
+                                role: "replay-mode",
+                                name: value.trim_matches('"').to_string(),
+                            }
+                        })?
                 }
                 "per_process_isolation" => config.per_process_isolation = parse_bool(value)?,
                 "seed" => config.seed = parse_num::<u64>(value)?,
@@ -523,47 +519,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_setters_still_override_fields() {
-        let config = SimConfig::leap_defaults()
-            .with_memory_fraction(0.25)
-            .with_prefetcher(PrefetcherKind::Stride)
-            .with_backend(BackendKind::Ssd)
-            .with_prefetch_cache_pages(800)
-            .with_seed(9)
-            .with_isolation(false)
-            .with_eviction(EvictionPolicy::Lazy)
-            .with_data_path(DataPathKind::LinuxDefault);
-        assert_eq!(config.memory_fraction, 0.25);
-        assert_eq!(config.prefetcher, PrefetcherKind::Stride);
-        assert_eq!(config.backend, BackendKind::Ssd);
-        assert_eq!(config.prefetch_cache_pages, 800);
-        assert_eq!(config.seed, 9);
-        assert!(!config.per_process_isolation);
-        assert_eq!(config.eviction, EvictionPolicy::Lazy);
-        assert_eq!(config.data_path, DataPathKind::LinuxDefault);
-        // Shims produce configs the builder would also accept.
-        config.validate().expect("shim output validates");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_memory_fraction_is_clamped() {
-        assert_eq!(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(3.0)
-                .memory_fraction,
-            1.0
-        );
-        assert!(
-            SimConfig::leap_defaults()
-                .with_memory_fraction(-1.0)
-                .memory_fraction
-                > 0.0
-        );
-    }
-
-    #[test]
     fn labels_are_informative() {
         let label = SimConfig::builder()
             .memory_fraction(0.5)
@@ -607,6 +562,8 @@ mod tests {
             .max_prefetch_window(4)
             .cores(12)
             .sched_quantum(Nanos::from_micros(333))
+            .context_switch_cost(Nanos::from_micros(5))
+            .replay_mode(ReplayMode::Threaded)
             .per_process_isolation(true)
             .seed(1234)
             .backend_read_latency(Nanos::from_micros(7))

@@ -19,7 +19,7 @@
 //! clock per core via [`EngineCore::switch_core`].
 
 use crate::builder::SimSetup;
-use crate::components::EvictionFactory;
+use crate::components::ResolvedComponents;
 use crate::config::SimConfig;
 use crate::result::RunResult;
 use crate::session::{AccessOutcome, FaultEvent};
@@ -30,7 +30,6 @@ use leap_mem::{CacheEntry, CacheOrigin, Pid, ShardedSwapCache, SwapSlot};
 use leap_prefetcher::PageAddr;
 use leap_sim_core::{DetRng, Nanos, SimClock};
 use leap_workloads::{Access, AccessTrace};
-use std::sync::Arc;
 
 /// Shared state and bookkeeping of one simulation run.
 #[derive(Debug)]
@@ -44,7 +43,13 @@ pub(crate) struct EngineCore {
     pub evictors: Vec<Box<dyn CacheEvictor>>,
     pub result: RunResult,
     pub seq: u64,
-    eviction_factory: Arc<dyn EvictionFactory>,
+    /// The resolved component factories, kept so scheduled replays can build
+    /// fresh per-core shard workers (one data path, evictor, and tracker per
+    /// worker).
+    components: ResolvedComponents,
+    /// Salt decorrelating this front-end's random streams (and those of its
+    /// shard workers) from other front-ends under the same seed.
+    rng_salt: u64,
     core_cursor: usize,
     active_core: usize,
     scheduled: bool,
@@ -57,22 +62,79 @@ impl EngineCore {
     pub fn new(setup: &SimSetup, rng_salt: u64) -> Self {
         let config = setup.config;
         let mut rng = DetRng::seed_from(config.seed ^ rng_salt);
-        let components = setup.components();
+        let components = setup.components().clone();
         EngineCore {
             clock: SimClock::new(),
             cache: ShardedSwapCache::single(config.prefetch_cache_pages),
             tracker: PageAccessTracker::new(components.prefetcher.clone(), &config),
             data_path: components.data_path.build(&config, &mut rng),
             evictors: vec![components.eviction.build(&config)],
-            eviction_factory: components.eviction.clone(),
             result: RunResult::default(),
             seq: 0,
+            components,
+            rng_salt,
             core_cursor: 0,
             active_core: 0,
             scheduled: false,
             label: setup.label(),
             config,
         }
+    }
+
+    /// Builds the engine slice a per-core shard worker owns in a scheduled
+    /// replay of `shards` cores: one cache shard (the bounded capacity split
+    /// evenly, never below one full prefetch window), one eviction-policy
+    /// instance, per-core prefetcher trend state pinned to `core`, a fresh
+    /// per-core clock, and this worker's own data path fed from a
+    /// deterministic per-core [`DetRng`] stream.
+    ///
+    /// Worker engines are what both replay modes
+    /// ([`crate::config::ReplayMode`]) execute, so the serial reference and
+    /// the thread-parallel replay step literally the same state.
+    pub fn shard_worker(&self, core: usize, shards: usize) -> EngineCore {
+        let config = self.config;
+        let per_shard = if config.prefetch_cache_pages == u64::MAX {
+            u64::MAX
+        } else {
+            (config.prefetch_cache_pages / shards as u64).max(config.max_prefetch_window as u64)
+        };
+        // One independent random stream per core: golden-ratio stride keeps
+        // the per-core seeds far apart for any (seed, salt) pair.
+        let mut rng = DetRng::seed_from(
+            config.seed ^ self.rng_salt ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(core as u64 + 1),
+        );
+        let mut tracker = PageAccessTracker::new(self.components.prefetcher.clone(), &config);
+        tracker.set_per_core(true);
+        EngineCore {
+            clock: SimClock::new(),
+            cache: ShardedSwapCache::single(per_shard),
+            tracker,
+            data_path: self.components.data_path.build(&config, &mut rng),
+            evictors: vec![self.components.eviction.build(&config)],
+            result: RunResult::default(),
+            seq: 0,
+            components: self.components.clone(),
+            rng_salt: self.rng_salt,
+            core_cursor: 0,
+            active_core: core,
+            scheduled: true,
+            label: self.label.clone(),
+            config,
+        }
+    }
+
+    /// Advances this worker's clock to the scheduler-provided start instant
+    /// of its next access (never backwards; within one core the scheduler's
+    /// clock is monotonic).
+    pub fn sync_clock(&mut self, now: Nanos) {
+        self.clock.advance_to(now);
+    }
+
+    /// Pre-sizes the per-access histograms for `accesses` samples so the
+    /// fault hot path never reallocates in steady state.
+    pub fn reserve_accesses(&mut self, accesses: usize) {
+        self.result.access_latency.reserve(accesses);
+        self.result.remote_access_latency.reserve(accesses);
     }
 
     /// Reshapes the engine for a scheduled multi-core replay: `cache_shards`
@@ -92,7 +154,7 @@ impl EngineCore {
         };
         self.cache = ShardedSwapCache::new(cache_shards, per_shard, span);
         self.evictors = (0..cache_shards)
-            .map(|_| self.eviction_factory.build(&self.config))
+            .map(|_| self.components.eviction.build(&self.config))
             .collect();
         self.tracker.set_per_core(true);
         self.scheduled = true;
@@ -126,13 +188,18 @@ impl EngineCore {
     }
 
     /// Joined workload name for `traces` (matches the historical "+" join
-    /// for multi-process runs).
+    /// for multi-process runs). Built in one pass without intermediate
+    /// per-trace `String`s.
     pub fn workload_name(traces: &[AccessTrace]) -> String {
-        traces
-            .iter()
-            .map(|t| t.name().to_string())
-            .collect::<Vec<_>>()
-            .join("+")
+        let mut name =
+            String::with_capacity(traces.iter().map(|t| t.name().len() + 1).sum::<usize>());
+        for (i, trace) in traces.iter().enumerate() {
+            if i > 0 {
+                name.push('+');
+            }
+            name.push_str(trace.name());
+        }
+        name
     }
 
     /// Picks the CPU core the next request is issued from. In scheduled mode

@@ -25,6 +25,15 @@ pub enum ConfigError {
     /// `prefetch_cache_pages` must be nonzero; a zero-capacity cache would
     /// silently disable prefetching while the prefetcher still pays for it.
     ZeroPrefetchCache,
+    /// `context_switch_cost` is implausibly large (more than
+    /// [`crate::config::MAX_CONTEXT_SWITCH`]); almost certainly a unit
+    /// mistake.
+    ContextSwitchTooLarge {
+        /// The configured cost.
+        cost: leap_sim_core::Nanos,
+        /// The accepted maximum.
+        max: leap_sim_core::Nanos,
+    },
     /// A bounded prefetch cache must hold at least one full prefetch window,
     /// otherwise every prefetch batch evicts its own earlier pages before
     /// they can be consumed and the eviction policy degenerates to thrash.
@@ -72,6 +81,11 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroCores => write!(f, "cores must be nonzero"),
             ConfigError::ZeroQuantum => write!(f, "sched_quantum must be nonzero"),
             ConfigError::ZeroPrefetchCache => write!(f, "prefetch_cache_pages must be nonzero"),
+            ConfigError::ContextSwitchTooLarge { cost, max } => write!(
+                f,
+                "context_switch_cost of {cost} exceeds the plausible maximum of {max} \
+                 (check the unit: the knob is in nanoseconds)"
+            ),
             ConfigError::CacheSmallerThanWindow {
                 cache_pages,
                 window,

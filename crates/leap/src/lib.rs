@@ -69,6 +69,7 @@ pub mod components;
 pub mod config;
 mod engine;
 pub mod error;
+pub mod parallel;
 pub mod result;
 pub mod sched;
 pub mod session;
@@ -80,13 +81,13 @@ pub use builder::{SimConfigBuilder, SimSetup};
 pub use components::{
     ComponentRegistry, DataPathFactory, EvictionFactory, PrefetcherFactory, ResolvedComponents,
 };
-pub use config::{DataPathKind, EvictionPolicy, SimConfig};
+pub use config::{DataPathKind, EvictionPolicy, ReplayMode, SimConfig};
 pub use error::ConfigError;
 pub use result::RunResult;
 pub use sched::{CoreScheduler, ScheduledSlot};
 pub use session::{
-    AccessOutcome, CoreActivity, CoreStats, EventLog, FaultEvent, HistogramObserver, Observer,
-    OutcomeCounts, Session, Simulator,
+    AccessOutcome, CoreActivity, CoreStats, EventLog, EventRing, FaultEvent, HistogramObserver,
+    Observer, OutcomeCounts, Session, Simulator,
 };
 pub use tracker::PageAccessTracker;
 pub use vfs::VfsSimulator;
@@ -98,13 +99,13 @@ pub mod prelude {
     pub use crate::components::{
         ComponentRegistry, DataPathFactory, EvictionFactory, PrefetcherFactory,
     };
-    pub use crate::config::{DataPathKind, EvictionPolicy, SimConfig};
+    pub use crate::config::{DataPathKind, EvictionPolicy, ReplayMode, SimConfig};
     pub use crate::error::ConfigError;
     pub use crate::result::RunResult;
     pub use crate::sched::CoreScheduler;
     pub use crate::session::{
-        AccessOutcome, CoreActivity, CoreStats, EventLog, FaultEvent, HistogramObserver, Observer,
-        OutcomeCounts, Session, Simulator,
+        AccessOutcome, CoreActivity, CoreStats, EventLog, EventRing, FaultEvent, HistogramObserver,
+        Observer, OutcomeCounts, Session, Simulator,
     };
     pub use crate::tracker::PageAccessTracker;
     pub use crate::vfs::VfsSimulator;

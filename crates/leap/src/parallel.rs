@@ -1,0 +1,233 @@
+//! Thread-parallel replay over per-core shard workers.
+//!
+//! PR 2 sharded every piece of per-core engine state (swap regions, cache
+//! shards, evictors, prefetcher trend state, clocks) but still stepped all of
+//! it from one OS thread. This module finishes the job: a scheduled
+//! multi-process replay is executed by **shard workers** — one self-contained
+//! engine slice per core, owning its cache shard, eviction policy, swap
+//! region, `(pid, core)` trend state, clock, and its own deterministic data
+//! path RNG stream — and the configured [`ReplayMode`] decides what drives
+//! them:
+//!
+//! - [`ReplayMode::Serial`]: one thread steps the workers in the global
+//!   time-sliced scheduler's interleaving (the reference implementation).
+//! - [`ReplayMode::Threaded`]: one OS thread per worker, each driving the
+//!   scheduler restricted to its own core ([`CoreScheduler::isolate`]).
+//!
+//! # Determinism
+//!
+//! The two modes are bit-identical for a seed because nothing a worker
+//! computes depends on any other worker:
+//!
+//! 1. **Schedules are per-core independent.** A core's run queue is dealt
+//!    once up front from the seed; rotations depend only on that core's
+//!    quantum accounting and its own access completion times. The global
+//!    scheduler's min-clock scan only chooses the *interleaving order* of
+//!    cores, never what any core does (see [`CoreScheduler::isolate`]).
+//! 2. **Worker state is share-nothing.** Processes are pinned to one core
+//!    for their lifetime, so page tables, swap slots (allocated from the
+//!    core's own region), cache entries, and trend state are only ever
+//!    touched by their own worker. Prefetch candidates that would fall into
+//!    a foreign core's slot region are unowned there by construction
+//!    (regions are allocated bottom-up and are ~2⁶¹ slots wide), so both
+//!    modes skip them identically.
+//! 3. **Aggregation order is fixed.** Each worker buffers its
+//!    sequence-stamped [`FaultEvent`]s locally; after the join the buffers
+//!    are merged in `(core, seq)` order and partial [`RunResult`]s are
+//!    folded in ascending core order, so observers and aggregates see one
+//!    canonical order in both modes.
+//!
+//! `tests/parallel_equivalence.rs` pins all three properties.
+
+use crate::result::RunResult;
+use crate::sched::CoreScheduler;
+use crate::session::{EventRing, FaultEvent, Observer};
+use leap_mem::Pid;
+use leap_sim_core::Nanos;
+use leap_workloads::AccessTrace;
+
+pub use crate::config::ReplayMode;
+
+/// One per-core shard of a simulator, steppable independently of every other
+/// shard. Implemented by front-ends that support thread-parallel replay (the
+/// VMM); [`crate::Simulator::run_multi`] drives shards through the replay
+/// machinery of this module.
+pub trait CoreWorker: Send {
+    /// Executes one access of `pid` on this worker's core.
+    fn step(&mut self, pid: Pid, access: leap_workloads::Access) -> FaultEvent;
+
+    /// Advances the worker's clock to the scheduler-provided start instant
+    /// of its next access (monotonic within a core).
+    fn sync_clock(&mut self, now: Nanos);
+
+    /// The worker's core-local clock.
+    fn local_now(&self) -> Nanos;
+
+    /// Consumes the worker, yielding its partial result.
+    fn into_partial(self) -> RunResult;
+}
+
+/// Everything a sharded replay produces before aggregation: the per-core
+/// sequence-stamped event buffers, the per-core partial results, and the
+/// makespan.
+pub(crate) struct ShardOutcome {
+    /// Per-core event buffers; `events[c][i].seq == i` within core `c`.
+    pub events: Vec<Vec<FaultEvent>>,
+    /// Per-core partial results, index = core.
+    pub partials: Vec<RunResult>,
+    /// The replay's makespan (latest core-local time incl. context switches).
+    pub completion: Nanos,
+}
+
+/// Replays `traces` over `workers` in the given mode. The scheduler must be
+/// freshly built (no slots handed out yet). `record_events` gates the
+/// per-core event buffers: with no observers attached there is no reader,
+/// so buffering millions of events would only inflate peak RSS.
+pub(crate) fn replay<W: CoreWorker>(
+    mode: ReplayMode,
+    workers: Vec<W>,
+    traces: &[AccessTrace],
+    sched: CoreScheduler,
+    record_events: bool,
+) -> ShardOutcome {
+    match mode {
+        ReplayMode::Serial => replay_serial(workers, traces, sched, record_events),
+        ReplayMode::Threaded => replay_threaded(workers, traces, &sched, record_events),
+    }
+}
+
+/// Drives one worker with a scheduler that only has that worker's core
+/// populated, buffering the core's events. Returns the events, the partial
+/// result, and the core's completion time.
+fn drive_worker<W: CoreWorker>(
+    mut worker: W,
+    core: usize,
+    traces: &[AccessTrace],
+    mut local: CoreScheduler,
+    record_events: bool,
+) -> (Vec<FaultEvent>, RunResult, Nanos) {
+    let capacity: usize = if record_events {
+        local.run_queue(core).iter().map(|&p| traces[p].len()).sum()
+    } else {
+        0
+    };
+    let mut events = Vec::with_capacity(capacity);
+    while let Some(slot) = local.next_slot() {
+        debug_assert_eq!(slot.core, core, "isolated scheduler left its core");
+        worker.sync_clock(slot.now);
+        let access = traces[slot.process].accesses()[slot.access_index];
+        let event = worker.step(Pid(slot.process as u32 + 1), access);
+        if record_events {
+            events.push(event);
+        }
+        local.completed(&slot, worker.local_now());
+    }
+    (events, worker.into_partial(), local.completion_time())
+}
+
+/// The serial reference: one thread steps all workers, interleaved by the
+/// global scheduler (always the core whose local clock is furthest behind).
+fn replay_serial<W: CoreWorker>(
+    mut workers: Vec<W>,
+    traces: &[AccessTrace],
+    mut sched: CoreScheduler,
+    record_events: bool,
+) -> ShardOutcome {
+    let mut events: Vec<Vec<FaultEvent>> = (0..workers.len())
+        .map(|core| {
+            if record_events {
+                Vec::with_capacity(sched.run_queue(core).iter().map(|&p| traces[p].len()).sum())
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    while let Some(slot) = sched.next_slot() {
+        let worker = &mut workers[slot.core];
+        worker.sync_clock(slot.now);
+        let access = traces[slot.process].accesses()[slot.access_index];
+        let event = worker.step(Pid(slot.process as u32 + 1), access);
+        if record_events {
+            events[slot.core].push(event);
+        }
+        sched.completed(&slot, worker.local_now());
+    }
+    ShardOutcome {
+        events,
+        partials: workers.into_iter().map(CoreWorker::into_partial).collect(),
+        completion: sched.completion_time(),
+    }
+}
+
+/// The thread-parallel replay: one scoped OS thread per shard worker, each
+/// driving [`CoreScheduler::isolate`] of its core to completion; joined in
+/// core order.
+fn replay_threaded<W: CoreWorker>(
+    workers: Vec<W>,
+    traces: &[AccessTrace],
+    sched: &CoreScheduler,
+    record_events: bool,
+) -> ShardOutcome {
+    let per_core = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(core, worker)| {
+                let local = sched.isolate(core);
+                scope.spawn(move || drive_worker(worker, core, traces, local, record_events))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("shard worker thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut events = Vec::with_capacity(per_core.len());
+    let mut partials = Vec::with_capacity(per_core.len());
+    let mut completion = Nanos::ZERO;
+    for (core_events, partial, core_completion) in per_core {
+        events.push(core_events);
+        partials.push(partial);
+        completion = completion.max(core_completion);
+    }
+    ShardOutcome {
+        events,
+        partials,
+        completion,
+    }
+}
+
+/// Aggregates a sharded replay: folds the partial results in core order,
+/// stamps the metadata and makespan, and delivers the merged `(core, seq)`
+/// event stream to `observers` through the batched [`EventRing`].
+pub(crate) fn finish_sharded(
+    config_label: String,
+    workload: String,
+    outcome: ShardOutcome,
+    observers: &mut [&mut dyn Observer],
+) -> RunResult {
+    let mut result = RunResult {
+        config_label,
+        workload,
+        ..RunResult::default()
+    };
+    for partial in outcome.partials {
+        result.absorb_shard(partial);
+    }
+    result.completion_time = outcome.completion;
+
+    if !observers.is_empty() {
+        // The per-core buffers are already contiguous and in (core, seq)
+        // order, so batches are delivered by slicing them directly — the
+        // same batched-`on_batch` contract as the [`EventRing`], with zero
+        // additional copies.
+        for core_events in &outcome.events {
+            for chunk in core_events.chunks(EventRing::DEFAULT_BATCH) {
+                for observer in observers.iter_mut() {
+                    observer.on_batch(chunk);
+                }
+            }
+        }
+    }
+    result
+}

@@ -83,6 +83,26 @@ impl RunResult {
     pub fn cache_hit_ratio(&self) -> f64 {
         self.cache_stats.hit_ratio()
     }
+
+    /// Folds one per-core shard worker's partial result into this aggregate.
+    ///
+    /// Counters add, histograms concatenate in call order; callers must fold
+    /// shards in ascending core order so aggregation is deterministic
+    /// regardless of replay mode. `completion_time` is *not* touched — the
+    /// makespan comes from the scheduler, not from any single shard.
+    pub fn absorb_shard(&mut self, shard: RunResult) {
+        self.total_accesses += shard.total_accesses;
+        self.remote_accesses += shard.remote_accesses;
+        self.first_touch_faults += shard.first_touch_faults;
+        self.pages_swapped_out += shard.pages_swapped_out;
+        self.remote_access_latency
+            .merge(&shard.remote_access_latency);
+        self.access_latency.merge(&shard.access_latency);
+        self.cache_stats.merge(&shard.cache_stats);
+        self.prefetch_stats.merge(&shard.prefetch_stats);
+        self.eviction_wait.merge(&shard.eviction_wait);
+        self.allocation_wait.merge(&shard.allocation_wait);
+    }
 }
 
 #[cfg(test)]

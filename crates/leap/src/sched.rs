@@ -30,8 +30,9 @@
 use leap_sim_core::{DetRng, Nanos};
 use std::collections::VecDeque;
 
-/// Cost of switching a core between processes (register/TLB state plus the
-/// scheduler's own bookkeeping; a couple of µs on real hardware).
+/// Default cost of switching a core between processes (register/TLB state
+/// plus the scheduler's own bookkeeping; a couple of µs on real hardware).
+/// Overridable per run via [`crate::SimConfigBuilder::context_switch_cost`].
 pub const CONTEXT_SWITCH: Nanos = Nanos(2_000);
 
 /// One scheduling decision: which process runs its next access, where, when.
@@ -70,6 +71,8 @@ pub struct ScheduledSlot {
 #[derive(Debug, Clone)]
 pub struct CoreScheduler {
     quantum: Nanos,
+    /// Simulated cost charged per context switch.
+    context_switch: Nanos,
     /// Per-core run queues of process indices; the front entry is running.
     queues: Vec<VecDeque<usize>>,
     /// Next access index per process.
@@ -91,6 +94,18 @@ impl CoreScheduler {
     /// shuffled by a [`DetRng`] seeded from `seed`, so runs are reproducible
     /// per seed while placement is not biased towards trace order.
     pub fn new(lens: &[usize], cores: usize, quantum: Nanos, seed: u64) -> Self {
+        CoreScheduler::with_context_switch(lens, cores, quantum, seed, CONTEXT_SWITCH)
+    }
+
+    /// Like [`CoreScheduler::new`] with an explicit per-switch cost
+    /// ([`crate::SimConfig::context_switch_cost`]).
+    pub fn with_context_switch(
+        lens: &[usize],
+        cores: usize,
+        quantum: Nanos,
+        seed: u64,
+        context_switch: Nanos,
+    ) -> Self {
         let cores = cores.max(1);
         let mut order: Vec<usize> = (0..lens.len()).collect();
         let mut rng = DetRng::seed_from(seed ^ 0x5C4E_D01E);
@@ -106,6 +121,7 @@ impl CoreScheduler {
         }
         CoreScheduler {
             quantum,
+            context_switch,
             queues,
             cursors: vec![0; lens.len()],
             lens: lens.to_vec(),
@@ -113,6 +129,34 @@ impl CoreScheduler {
             slice_used: vec![Nanos::ZERO; cores],
             switches: 0,
         }
+    }
+
+    /// The run queue dealt to `core`, front (running) first. Stable once the
+    /// scheduler is built; a thread-parallel replay uses it to decide which
+    /// processes each shard worker owns.
+    pub fn run_queue(&self, core: usize) -> Vec<usize> {
+        self.queues[core].iter().copied().collect()
+    }
+
+    /// A scheduler that retains only `core`'s run queue (every other core is
+    /// left idle with an empty queue).
+    ///
+    /// A core's schedule — the sequence of `(process, access_index, now)`
+    /// slots it serves and its local clock — depends only on its own run
+    /// queue, quantum accounting, and the completion times reported for its
+    /// own slots; other cores influence nothing but the global interleaving
+    /// order. Driving each `isolate(core)` independently therefore yields
+    /// exactly the per-core slot sequences of the full scheduler, which is
+    /// what lets one OS thread per core replay its shard without
+    /// synchronisation ([`crate::parallel`]).
+    pub fn isolate(&self, core: usize) -> CoreScheduler {
+        let mut isolated = self.clone();
+        for (c, queue) in isolated.queues.iter_mut().enumerate() {
+            if c != core {
+                queue.clear();
+            }
+        }
+        isolated
     }
 
     /// Number of cores (run queues).
@@ -169,7 +213,7 @@ impl CoreScheduler {
     }
 
     fn context_switch(&mut self, core: usize) {
-        self.core_now[core] = self.core_now[core].saturating_add(CONTEXT_SWITCH);
+        self.core_now[core] = self.core_now[core].saturating_add(self.context_switch);
         self.switches += 1;
     }
 
@@ -200,9 +244,10 @@ pub(crate) fn drive_schedule(
     cores: usize,
     quantum: Nanos,
     seed: u64,
+    context_switch: Nanos,
     mut step: impl FnMut(&ScheduledSlot) -> Nanos,
 ) -> Nanos {
-    let mut sched = CoreScheduler::new(lens, cores, quantum, seed);
+    let mut sched = CoreScheduler::with_context_switch(lens, cores, quantum, seed, context_switch);
     while let Some(slot) = sched.next_slot() {
         let now_after = step(&slot);
         sched.completed(&slot, now_after);
@@ -309,6 +354,54 @@ mod tests {
         assert!(
             (1..20).any(|seed| placement(seed) != first),
             "placement never varies with the seed"
+        );
+    }
+
+    #[test]
+    fn isolated_cores_reproduce_their_slice_of_the_global_schedule() {
+        // Drain the global scheduler and each isolated core with the same
+        // per-access cost: the per-core slot sequences must match exactly.
+        let lens = [40, 25, 33, 18, 9];
+        let build = || CoreScheduler::new(&lens, 3, Nanos(4_000), 77);
+        let global_slots = drain(&mut build(), Nanos(900));
+        for core in 0..3 {
+            let isolated_slots = drain(&mut build().isolate(core), Nanos(900));
+            let global_core: Vec<ScheduledSlot> = global_slots
+                .iter()
+                .copied()
+                .filter(|s| s.core == core)
+                .collect();
+            assert_eq!(isolated_slots, global_core, "core {core} diverged");
+        }
+        // And the makespan is the max over the isolated completions.
+        let mut global = build();
+        drain(&mut global, Nanos(900));
+        let isolated_max = (0..3)
+            .map(|core| {
+                let mut iso = build().isolate(core);
+                drain(&mut iso, Nanos(900));
+                iso.completion_time()
+            })
+            .max()
+            .unwrap();
+        assert_eq!(global.completion_time(), isolated_max);
+    }
+
+    #[test]
+    fn context_switch_cost_is_configurable() {
+        let run = |cost| {
+            let mut sched = CoreScheduler::with_context_switch(&[10, 10], 1, Nanos(1_000), 3, cost);
+            drain(&mut sched, Nanos(600));
+            (sched.context_switches(), sched.completion_time())
+        };
+        let (switches_free, time_free) = run(Nanos::ZERO);
+        let (switches_costly, time_costly) = run(Nanos::from_micros(50));
+        // Same schedule shape, but each switch now costs 50 µs of makespan.
+        assert_eq!(switches_free, switches_costly);
+        assert!(switches_free > 0);
+        assert_eq!(
+            time_costly,
+            time_free + Nanos::from_micros(50) * switches_free,
         );
     }
 

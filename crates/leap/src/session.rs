@@ -55,7 +55,13 @@ impl AccessOutcome {
 /// One access's journey through the fault engine, as emitted to observers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
-    /// 0-based index of the access in replay order.
+    /// 0-based index of the access in replay order. Dense per replay for
+    /// single-process runs. In sharded multi-process replays (the VMM with
+    /// per-process isolation) the index is **per core** — dense within each
+    /// core's stream — and the merged stream is ordered by `(core, seq)`.
+    /// Replays on the monolithic fallback path (the VFS; the VMM with
+    /// `per_process_isolation = false`) keep one global counter across
+    /// cores, so per-core streams there have gaps.
     pub seq: u64,
     /// The accessing process.
     pub pid: Pid,
@@ -81,12 +87,101 @@ pub struct FaultEvent {
 }
 
 /// A hook receiving the event stream of a [`Session`] run.
+///
+/// Events are delivered in batches through an [`EventRing`]: the driving
+/// loop buffers events and flushes a full slice at a time, so one virtual
+/// call amortises over many events. Implement [`Observer::on_batch`] to
+/// consume whole slices zero-copy; the default forwards each event to
+/// [`Observer::on_event`], so per-event observers keep working unchanged.
 pub trait Observer {
-    /// Called after every access, in replay order.
+    /// Called for every access, in replay order.
     fn on_event(&mut self, event: &FaultEvent);
+
+    /// Called with each flushed batch of events, in replay order. Exactly
+    /// the concatenation of all batches equals the full event stream; every
+    /// event is delivered exactly once.
+    fn on_batch(&mut self, events: &[FaultEvent]) {
+        for event in events {
+            self.on_event(event);
+        }
+    }
 
     /// Called once with the finished result.
     fn on_complete(&mut self, _result: &RunResult) {}
+}
+
+/// A bounded buffer batching [`FaultEvent`] delivery to [`Observer`]s.
+///
+/// The driving loops push events into the ring; once
+/// [`EventRing::DEFAULT_BATCH`] events accumulate (or the run finishes) the
+/// buffered slice is handed to every observer's [`Observer::on_batch`] in
+/// one call. With no observers attached, pushes are dropped without
+/// buffering, so unobserved runs pay nothing.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<FaultEvent>,
+    capacity: usize,
+    delivered: u64,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::new(EventRing::DEFAULT_BATCH)
+    }
+}
+
+impl EventRing {
+    /// Default batch size: large enough to amortise observer dispatch, small
+    /// enough to stay in cache.
+    pub const DEFAULT_BATCH: usize = 256;
+
+    /// Creates a ring flushing every `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be nonzero");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            delivered: 0,
+        }
+    }
+
+    /// Buffers one event, flushing to `observers` when the batch is full.
+    /// With no observers the event is dropped immediately.
+    pub fn push(&mut self, event: FaultEvent, observers: &mut [&mut dyn Observer]) {
+        if observers.is_empty() {
+            return;
+        }
+        self.buf.push(event);
+        if self.buf.len() >= self.capacity {
+            self.flush(observers);
+        }
+    }
+
+    /// Delivers any buffered events to every observer and clears the buffer.
+    pub fn flush(&mut self, observers: &mut [&mut dyn Observer]) {
+        if self.buf.is_empty() {
+            return;
+        }
+        for observer in observers.iter_mut() {
+            observer.on_batch(&self.buf);
+        }
+        self.delivered += self.buf.len() as u64;
+        self.buf.clear();
+    }
+
+    /// Events delivered (flushed) so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Events currently buffered, awaiting the next flush.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 /// A paging/file front-end that replays access traces.
@@ -159,19 +254,28 @@ pub trait Simulator: Sized {
     /// paper's Figure 13 setup does. Equal seeds (and quantum) reproduce
     /// the schedule, the per-core [`FaultEvent`] streams, and every
     /// aggregate statistic exactly.
-    fn run_multi(mut self, traces: &[AccessTrace]) -> RunResult {
-        self.prepare_multi(traces);
-        let lens: Vec<usize> = traces.iter().map(|t| t.len()).collect();
-        let config = self.config();
-        let (cores, quantum, seed) = (config.cores, config.sched_quantum, config.seed);
-        let completion = sched::drive_schedule(&lens, cores, quantum, seed, |slot| {
-            self.switch_core(slot.core, slot.now);
-            let access = traces[slot.process].accesses()[slot.access_index];
-            self.step_access(Pid(slot.process as u32 + 1), access);
-            self.now()
-        });
-        self.finish_multi(completion);
-        self.into_result()
+    fn run_multi(self, traces: &[AccessTrace]) -> RunResult {
+        self.run_multi_observed(traces, &mut [])
+    }
+
+    /// Like [`Simulator::run_multi`], additionally delivering every
+    /// [`FaultEvent`] to `observers` in batches through an [`EventRing`]
+    /// (this is what [`Session::run_multi`] calls; `on_complete` is the
+    /// session's job).
+    ///
+    /// The default implementation replays serially on the calling thread
+    /// whatever [`SimConfig::replay_mode`] says — it is what front-ends
+    /// without per-core shard state (the VFS) use. The VMM front-end
+    /// overrides it with the shard-worker machinery in [`crate::parallel`],
+    /// honouring the configured mode.
+    ///
+    /// [`SimConfig::replay_mode`]: crate::SimConfig::replay_mode
+    fn run_multi_observed(
+        self,
+        traces: &[AccessTrace],
+        observers: &mut [&mut dyn Observer],
+    ) -> RunResult {
+        run_multi_monolithic(self, traces, observers)
     }
 
     /// Replays a pre-merged multi-process schedule (as produced by
@@ -195,6 +299,40 @@ pub trait Simulator: Sized {
     fn session<'obs>(self) -> Session<'obs, Self> {
         Session::new(self)
     }
+}
+
+/// The monolithic scheduled replay: one engine stepped by the global
+/// time-sliced scheduler on the calling thread, events batched through an
+/// [`EventRing`]. This is the default [`Simulator::run_multi_observed`] and
+/// the fallback for configurations whose state genuinely cannot be sharded
+/// per core (the VFS's single file cache; the VMM under
+/// `per_process_isolation = false`, where all processes share one
+/// prefetcher stream by definition).
+pub(crate) fn run_multi_monolithic<S: Simulator>(
+    mut sim: S,
+    traces: &[AccessTrace],
+    observers: &mut [&mut dyn Observer],
+) -> RunResult {
+    sim.prepare_multi(traces);
+    let lens: Vec<usize> = traces.iter().map(|t| t.len()).collect();
+    let config = sim.config();
+    let (cores, quantum, seed, switch_cost) = (
+        config.cores,
+        config.sched_quantum,
+        config.seed,
+        config.context_switch_cost,
+    );
+    let mut ring = EventRing::default();
+    let completion = sched::drive_schedule(&lens, cores, quantum, seed, switch_cost, |slot| {
+        sim.switch_core(slot.core, slot.now);
+        let access = traces[slot.process].accesses()[slot.access_index];
+        let event = sim.step_access(Pid(slot.process as u32 + 1), access);
+        ring.push(event, observers);
+        sim.now()
+    });
+    ring.flush(observers);
+    sim.finish_multi(completion);
+    sim.into_result()
 }
 
 /// Drives a [`Simulator`] step by step, fanning every [`FaultEvent`] out to
@@ -222,6 +360,7 @@ pub trait Simulator: Sized {
 pub struct Session<'obs, S> {
     sim: S,
     observers: Vec<&'obs mut dyn Observer>,
+    ring: EventRing,
     seq_check: u64,
 }
 
@@ -231,6 +370,7 @@ impl<'obs, S: Simulator> Session<'obs, S> {
         Session {
             sim,
             observers: Vec::new(),
+            ring: EventRing::default(),
             seq_check: 0,
         }
     }
@@ -252,21 +392,26 @@ impl<'obs, S: Simulator> Session<'obs, S> {
         self.sim.prepare(traces);
     }
 
-    /// Executes one access and notifies the observers.
+    /// Executes one access and queues its event for the observers.
+    ///
+    /// Events are delivered in batches (see [`EventRing`]); any still-queued
+    /// events are flushed by [`Session::finish`], so by the time the result
+    /// is returned observers have seen the complete stream.
     pub fn step(&mut self, pid: Pid, access: Access) -> FaultEvent {
         let event = self.sim.step_access(pid, access);
         debug_assert_eq!(event.seq, self.seq_check, "simulators emit dense seqs");
         self.seq_check = event.seq + 1;
-        for observer in &mut self.observers {
-            observer.on_event(&event);
-        }
+        self.ring.push(event, &mut self.observers);
         event
     }
 
-    /// Finishes the run, notifies the observers, and returns the result.
+    /// Finishes the run, flushes any batched events, notifies the observers,
+    /// and returns the result.
     pub fn finish(self) -> RunResult {
-        let result = self.sim.into_result();
         let mut observers = self.observers;
+        let mut ring = self.ring;
+        ring.flush(&mut observers);
+        let result = self.sim.into_result();
         for observer in &mut observers {
             observer.on_complete(&result);
         }
@@ -296,21 +441,15 @@ impl<'obs, S: Simulator> Session<'obs, S> {
     }
 
     /// Streamed equivalent of [`Simulator::run_multi`]: the identical
-    /// time-sliced schedule (same scheduler, same seed), with every
-    /// per-core [`FaultEvent`] also fanned out to the observers.
+    /// replay (same scheduler, same seed, same [`crate::config::ReplayMode`]),
+    /// with the merged per-core [`FaultEvent`] stream also fanned out to the
+    /// observers in `(core, seq)` order.
     pub fn run_multi(mut self, traces: &[AccessTrace]) -> RunResult {
-        self.sim.prepare_multi(traces);
-        let lens: Vec<usize> = traces.iter().map(|t| t.len()).collect();
-        let config = self.sim.config();
-        let (cores, quantum, seed) = (config.cores, config.sched_quantum, config.seed);
-        let completion = sched::drive_schedule(&lens, cores, quantum, seed, |slot| {
-            self.sim.switch_core(slot.core, slot.now);
-            let access = traces[slot.process].accesses()[slot.access_index];
-            self.step(Pid(slot.process as u32 + 1), access);
-            self.sim.now()
-        });
-        self.sim.finish_multi(completion);
-        self.finish()
+        let result = self.sim.run_multi_observed(traces, &mut self.observers);
+        for observer in &mut self.observers {
+            observer.on_complete(&result);
+        }
+        result
     }
 
     /// Streamed equivalent of [`Simulator::run_interleaved`].

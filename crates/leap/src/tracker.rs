@@ -200,7 +200,7 @@ mod tests {
             !last_p1_decision.is_empty(),
             "isolation should let process 1 keep prefetching"
         );
-        assert!(last_p1_decision.prefetch.contains(&PageAddr(64)));
+        assert!(last_p1_decision.contains(PageAddr(64)));
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl VfsSimulator {
         // Prefetch neighbouring file pages.
         let decision = self.engine.prefetch_decision(pid, PageAddr(page));
         let mut issued = 0u32;
-        for candidate in &decision.prefetch {
+        for candidate in decision.iter() {
             let cslot = SwapSlot(candidate.0);
             if self.engine.cache.contains(cslot) {
                 continue;

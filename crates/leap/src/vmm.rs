@@ -29,8 +29,10 @@
 use crate::builder::SimSetup;
 use crate::config::SimConfig;
 use crate::engine::EngineCore;
+use crate::parallel::{self, CoreWorker};
 use crate::result::RunResult;
-use crate::session::{AccessOutcome, FaultEvent, Simulator};
+use crate::sched::CoreScheduler;
+use crate::session::{AccessOutcome, FaultEvent, Observer, Simulator};
 use leap_mem::{FramePool, LruList, MemoryLimit, PageState, PageTable, Pid, ShardedSwap, VirtPage};
 use leap_prefetcher::PageAddr;
 use leap_sim_core::units::PAGE_SIZE;
@@ -170,7 +172,7 @@ impl VmmSimulator {
             let breakdown = self.engine.read_remote(slot.0);
             latency = breakdown.total();
             let decision = self.engine.prefetch_decision(pid, PageAddr(slot.0));
-            prefetches_issued = self.issue_prefetches(&decision.prefetch);
+            prefetches_issued = self.issue_prefetches(decision.pages());
             outcome = AccessOutcome::RemoteFetch;
             false
         };
@@ -288,6 +290,40 @@ impl VmmSimulator {
         wait
     }
 
+    /// Splits this simulator into per-core shard workers for a scheduled
+    /// replay: worker `c` owns core `c`'s engine slice
+    /// ([`EngineCore::shard_worker`]), swap region
+    /// ([`ShardedSwap::region`]), and the paging state of exactly the
+    /// processes the scheduler dealt onto core `c` — so workers share no
+    /// mutable state and can be stepped from independent OS threads.
+    fn into_shard_workers(
+        self,
+        traces: &[AccessTrace],
+        sched: &CoreScheduler,
+    ) -> Vec<VmmSimulator> {
+        let shards = self.engine.config.cores;
+        (0..shards)
+            .map(|core| {
+                let mut worker = VmmSimulator {
+                    engine: self.engine.shard_worker(core, shards),
+                    processes: HashMap::new(),
+                    frames: FramePool::new(u64::MAX / 2),
+                    swap: ShardedSwap::region(core, shards, SWAP_CAPACITY),
+                };
+                let mut accesses = 0usize;
+                for process in sched.run_queue(core) {
+                    worker.register_process(
+                        Pid(process as u32 + 1),
+                        traces[process].working_set_pages(),
+                    );
+                    accesses += traces[process].len();
+                }
+                worker.engine.reserve_accesses(accesses);
+                worker
+            })
+            .collect()
+    }
+
     /// Maps `page` into `pid`'s address space as resident.
     fn map_in(&mut self, pid: Pid, page: VirtPage, _dirty: bool) {
         let frame = self
@@ -305,6 +341,24 @@ impl VmmSimulator {
     }
 }
 
+impl CoreWorker for VmmSimulator {
+    fn step(&mut self, pid: Pid, access: Access) -> FaultEvent {
+        self.step_access(pid, access)
+    }
+
+    fn sync_clock(&mut self, now: Nanos) {
+        self.engine.sync_clock(now);
+    }
+
+    fn local_now(&self) -> Nanos {
+        self.engine.clock.now()
+    }
+
+    fn into_partial(self) -> RunResult {
+        self.engine.result
+    }
+}
+
 impl Simulator for VmmSimulator {
     fn config(&self) -> &SimConfig {
         &self.engine.config
@@ -318,21 +372,21 @@ impl Simulator for VmmSimulator {
         for (i, trace) in traces.iter().enumerate() {
             self.register_process(Pid(i as u32 + 1), trace.working_set_pages());
         }
+        self.engine
+            .reserve_accesses(traces.iter().map(|t| t.len()).sum());
         self.engine.stamp_run(EngineCore::workload_name(traces));
     }
 
-    /// Prepares a scheduled replay: per-process state as in
+    /// Prepares the fallback monolithic scheduled replay (used only when
+    /// `per_process_isolation` is off): per-process state as in
     /// [`Simulator::prepare`], then shards the swap space and the engine's
-    /// cache/eviction/trend state into one shard per configured core.
+    /// cache/eviction state into one shard per configured core while the
+    /// prefetcher stream stays shared.
     fn prepare_multi(&mut self, traces: &[AccessTrace]) {
         self.prepare(traces);
         let shards = self.engine.config.cores;
         self.swap = ShardedSwap::new(shards, SWAP_CAPACITY);
         self.engine.enter_scheduled_mode(shards, self.swap.span());
-    }
-
-    fn now(&self) -> Nanos {
-        self.engine.clock.now()
     }
 
     fn switch_core(&mut self, core: usize, now: Nanos) {
@@ -341,6 +395,51 @@ impl Simulator for VmmSimulator {
 
     fn finish_multi(&mut self, completion: Nanos) {
         self.engine.finish_at(completion);
+    }
+
+    /// Replays `traces` through per-core shard workers — serially
+    /// interleaved or one OS thread per core, per
+    /// [`SimConfig::replay_mode`] — and aggregates the shards
+    /// deterministically (see [`crate::parallel`]).
+    ///
+    /// Without per-process isolation every process shares one prefetcher
+    /// stream *across cores* (the kernel's global readahead state), so the
+    /// engine cannot be split into share-nothing workers; that configuration
+    /// keeps the monolithic serial reference regardless of
+    /// [`SimConfig::replay_mode`] — the parallelism Leap's per-process,
+    /// per-core state enables is precisely what the shared path lacks.
+    fn run_multi_observed(
+        self,
+        traces: &[AccessTrace],
+        observers: &mut [&mut dyn Observer],
+    ) -> RunResult {
+        let config = self.engine.config;
+        if !config.per_process_isolation {
+            return crate::session::run_multi_monolithic(self, traces, observers);
+        }
+        let lens: Vec<usize> = traces.iter().map(|t| t.len()).collect();
+        let sched = CoreScheduler::with_context_switch(
+            &lens,
+            config.cores,
+            config.sched_quantum,
+            config.seed,
+            config.context_switch_cost,
+        );
+        let label = self.engine.label.clone();
+        let workload = EngineCore::workload_name(traces);
+        let workers = self.into_shard_workers(traces, &sched);
+        let outcome = parallel::replay(
+            config.replay_mode,
+            workers,
+            traces,
+            sched,
+            !observers.is_empty(),
+        );
+        parallel::finish_sharded(label, workload, outcome, observers)
+    }
+
+    fn now(&self) -> Nanos {
+        self.engine.clock.now()
     }
 
     /// Touches every distinct page of `trace` once, in address order,

@@ -63,6 +63,32 @@ impl ShardedSwap {
         }
     }
 
+    /// A swap space holding only core `core`'s region of the global slot
+    /// namespace that `ShardedSwap::new(shards, total_capacity)` would carve
+    /// up: `[core · span, (core + 1) · span)`.
+    ///
+    /// This is the slice a per-core shard worker owns in a thread-parallel
+    /// replay: slot numbering is identical to the fully sharded layout, but
+    /// the worker holds no other core's state. Lookups for slots outside the
+    /// region simply miss (`owner` returns `None`, `free` is a no-op), which
+    /// is also what the fully sharded facade yields for never-allocated
+    /// slots in foreign regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= shards`, `shards` is zero, or the region would be
+    /// empty.
+    pub fn region(core: usize, shards: usize, total_capacity: u64) -> Self {
+        assert!(shards > 0, "at least one swap shard is required");
+        assert!(core < shards, "core {core} outside {shards} shards");
+        let span = total_capacity / shards as u64;
+        assert!(span > 0, "swap capacity too small for {shards} shards");
+        ShardedSwap {
+            span,
+            shards: vec![SwapSpace::with_base(core as u64 * span, span)],
+        }
+    }
+
     /// Number of shards (one per core).
     pub fn shards(&self) -> usize {
         self.shards.len()

@@ -52,6 +52,19 @@ impl LatencyHistogram {
         self.sorted = false;
     }
 
+    /// Pre-allocates room for `additional` further samples, so a hot
+    /// recording path never reallocates in steady state.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
+    /// The samples in ascending order (sorting lazily like the percentile
+    /// queries). Useful for exact distribution comparisons between runs.
+    pub fn sorted_samples(&mut self) -> &[u64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
         self.samples.len()

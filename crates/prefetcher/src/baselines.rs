@@ -66,10 +66,9 @@ impl Default for NextNLinePrefetcher {
 impl Prefetcher for NextNLinePrefetcher {
     fn on_fault(&mut self, addr: PageAddr) -> PrefetchDecision {
         self.faults += 1;
-        let prefetch = (1..=self.n as u64)
-            .map(|i| PageAddr(addr.0.saturating_add(i)))
-            .collect();
-        PrefetchDecision::pages(prefetch)
+        PrefetchDecision::pages_from(
+            (1..=self.n as u64).map(|i| PageAddr(addr.0.saturating_add(i))),
+        )
     }
 
     fn on_prefetch_hit(&mut self, _addr: PageAddr) {}
@@ -142,7 +141,7 @@ impl Prefetcher for StridePrefetcher {
                     self.current_window.max(1) * 2
                 };
                 self.current_window = grow.min(self.max_window).max(1);
-                let mut pages = Vec::with_capacity(self.current_window);
+                let mut pages = PrefetchDecision::none();
                 let mut cur = addr;
                 for _ in 0..self.current_window {
                     let next = cur.offset(s);
@@ -152,14 +151,14 @@ impl Prefetcher for StridePrefetcher {
                     pages.push(next);
                     cur = next;
                 }
-                PrefetchDecision::pages(pages)
+                pages
             }
             (Some(s), _) if s != Delta::ZERO => {
                 // New candidate stride: low confidence, prefetch a single page.
                 self.confidence = self.confidence.saturating_sub(1);
                 self.current_window = 1;
                 if self.confidence > 0 {
-                    PrefetchDecision::pages(vec![addr.offset(s)])
+                    PrefetchDecision::pages_from([addr.offset(s)])
                 } else {
                     PrefetchDecision::none()
                 }
@@ -279,11 +278,11 @@ impl Prefetcher for ReadAheadPrefetcher {
         }
 
         // Read the window ahead of the faulting page.
-        let prefetch = (1..=self.window as u64)
-            .map(|i| PageAddr(addr.0.saturating_add(i)))
-            .filter(|&p| p != addr)
-            .collect();
-        PrefetchDecision::pages(prefetch)
+        PrefetchDecision::pages_from(
+            (1..=self.window as u64)
+                .map(|i| PageAddr(addr.0.saturating_add(i)))
+                .filter(|&p| p != addr),
+        )
     }
 
     fn on_prefetch_hit(&mut self, _addr: PageAddr) {
@@ -320,8 +319,8 @@ mod tests {
         let mut p = NextNLinePrefetcher::new(4);
         let d = p.on_fault(PageAddr(100));
         assert_eq!(
-            d.prefetch,
-            vec![PageAddr(101), PageAddr(102), PageAddr(103), PageAddr(104)]
+            d.pages(),
+            &[PageAddr(101), PageAddr(102), PageAddr(103), PageAddr(104)]
         );
         // Even on a wildly irregular fault it still prefetches (that is the
         // pathology the paper calls cache pollution).
@@ -343,7 +342,7 @@ mod tests {
             last = p.on_fault(PageAddr(1000 + 7 * i));
         }
         assert!(!last.is_empty());
-        assert_eq!(last.prefetch[0], PageAddr(1000 + 7 * 9 + 7));
+        assert_eq!(last.pages()[0], PageAddr(1000 + 7 * 9 + 7));
         assert_eq!(p.current_stride(), Some(Delta(7)));
     }
 
@@ -369,7 +368,7 @@ mod tests {
             last = p.on_fault(PageAddr(100_000 - 5 * i));
         }
         assert!(!last.is_empty());
-        assert_eq!(last.prefetch[0], PageAddr(100_000 - 5 * 9 - 5));
+        assert_eq!(last.pages()[0], PageAddr(100_000 - 5 * 9 - 5));
     }
 
     #[test]
@@ -419,7 +418,7 @@ mod tests {
         let _ = p.on_fault(PageAddr(16));
         let d = p.on_fault(PageAddr(17));
         // Window is 2; the two pages after the faulting page are read ahead.
-        assert_eq!(d.prefetch, vec![PageAddr(18), PageAddr(19)]);
+        assert_eq!(d.pages(), &[PageAddr(18), PageAddr(19)]);
     }
 
     #[test]
@@ -439,8 +438,8 @@ mod tests {
                 p.on_prefetch_hit(addr);
                 continue;
             }
-            for c in p.on_fault(addr).prefetch {
-                cache.insert(c);
+            for c in p.on_fault(addr).iter() {
+                cache.insert(*c);
             }
         }
         let ratio = hits as f64 / total as f64;
@@ -529,7 +528,7 @@ mod tests {
             for &a in &addrs {
                 for p in prefetchers.iter_mut() {
                     let d = p.on_fault(PageAddr(a));
-                    prop_assert!(!d.prefetch.contains(&PageAddr(a)));
+                    prop_assert!(!d.contains(PageAddr(a)));
                 }
             }
         }

@@ -55,7 +55,7 @@ impl Default for LeapConfig {
 /// for i in 0..8u64 {
 ///     decision = p.on_fault(PageAddr(i));
 /// }
-/// assert!(decision.prefetch.contains(&PageAddr(8)));
+/// assert!(decision.contains(PageAddr(8)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct LeapPrefetcher {
@@ -120,7 +120,10 @@ impl LeapPrefetcher {
     }
 
     /// Generates candidate pages following `delta` starting *after* `from`.
-    fn candidates_along(from: PageAddr, delta: Delta, count: usize) -> Vec<PageAddr> {
+    ///
+    /// The candidates land in the decision's inline buffer, so windows up to
+    /// [`crate::INLINE_DECISION_PAGES`] pages never touch the heap.
+    fn candidates_along(from: PageAddr, delta: Delta, count: usize) -> PrefetchDecision {
         // A zero delta would endlessly re-prefetch the same page; treat it as
         // a +1 sequential run, which is what the kernel's swap readahead does
         // for repeated accesses to neighbouring slots.
@@ -129,7 +132,7 @@ impl LeapPrefetcher {
         } else {
             delta
         };
-        let mut out = Vec::with_capacity(count);
+        let mut out = PrefetchDecision::none();
         let mut cur = from;
         for _ in 0..count {
             let next = cur.offset(step);
@@ -146,13 +149,13 @@ impl LeapPrefetcher {
     /// Generates candidates *around* `from` using the latest known trend
     /// (speculative prefetch, Algorithm 2 line 25): alternating pages ahead
     /// of and behind the faulting page along the previous trend direction.
-    fn candidates_around(from: PageAddr, delta: Delta, count: usize) -> Vec<PageAddr> {
+    fn candidates_around(from: PageAddr, delta: Delta, count: usize) -> PrefetchDecision {
         let step = if delta == Delta::ZERO {
             Delta(1)
         } else {
             delta
         };
-        let mut out = Vec::with_capacity(count);
+        let mut out = PrefetchDecision::none();
         let mut ahead = from;
         let mut behind = from;
         while out.len() < count {
@@ -214,19 +217,15 @@ impl Prefetcher for LeapPrefetcher {
                 delta: major_delta, ..
             } => {
                 self.last_known_trend = Some(major_delta);
-                PrefetchDecision {
-                    prefetch: Self::candidates_along(addr, major_delta, pw_size),
-                    speculative: false,
-                }
+                Self::candidates_along(addr, major_delta, pw_size)
             }
             TrendOutcome::NoTrend => {
                 // Speculative prefetch around Pt with the latest known trend.
                 self.speculative_decisions += 1;
                 let latest = self.last_known_trend.unwrap_or(Delta(1));
-                PrefetchDecision {
-                    prefetch: Self::candidates_around(addr, latest, pw_size),
-                    speculative: true,
-                }
+                let mut decision = Self::candidates_around(addr, latest, pw_size);
+                decision.speculative = true;
+                decision
             }
         }
     }
@@ -276,8 +275,8 @@ mod tests {
             }
             let decision = prefetcher.on_fault(addr);
             prefetched_total += decision.len();
-            for p in decision.prefetch {
-                cache.insert(p);
+            for p in decision.iter() {
+                cache.insert(*p);
             }
         }
         (prefetched_total, useful)
@@ -403,15 +402,15 @@ mod tests {
     #[test]
     fn candidates_along_skips_zero_delta() {
         let c = LeapPrefetcher::candidates_along(PageAddr(10), Delta(0), 3);
-        assert_eq!(c, vec![PageAddr(11), PageAddr(12), PageAddr(13)]);
+        assert_eq!(c.pages(), &[PageAddr(11), PageAddr(12), PageAddr(13)]);
     }
 
     #[test]
     fn candidates_around_alternates_directions() {
         let c = LeapPrefetcher::candidates_around(PageAddr(100), Delta(2), 4);
         assert_eq!(
-            c,
-            vec![PageAddr(102), PageAddr(98), PageAddr(104), PageAddr(96)]
+            c.pages(),
+            &[PageAddr(102), PageAddr(98), PageAddr(104), PageAddr(96)]
         );
     }
 
@@ -419,7 +418,7 @@ mod tests {
     fn candidates_saturate_at_address_space_edge() {
         let c = LeapPrefetcher::candidates_along(PageAddr(2), Delta(-3), 4);
         // 2 → saturates to 0, then stops because it cannot move further.
-        assert_eq!(c, vec![PageAddr(0)]);
+        assert_eq!(c.pages(), &[PageAddr(0)]);
         let c = LeapPrefetcher::candidates_around(PageAddr(0), Delta(-1), 4);
         // "Ahead" (delta -1) saturates instantly; only the +1 direction yields pages.
         assert!(!c.is_empty());
@@ -469,7 +468,7 @@ mod tests {
             let mut p = LeapPrefetcher::default();
             for &a in &trace {
                 let d = p.on_fault(PageAddr(a));
-                prop_assert!(!d.prefetch.contains(&PageAddr(a)));
+                prop_assert!(!d.contains(PageAddr(a)));
             }
         }
 
@@ -482,7 +481,7 @@ mod tests {
             for &a in &trace {
                 let d = p.on_fault(PageAddr(a));
                 let mut seen = std::collections::HashSet::new();
-                for page in &d.prefetch {
+                for page in d.iter() {
                     prop_assert!(seen.insert(*page), "duplicate candidate {page:?}");
                 }
             }

@@ -30,14 +30,13 @@
 //!
 //! let mut leap = LeapPrefetcher::default();
 //! // A regular stride of +2 pages quickly produces prefetch candidates.
-//! let mut last = Vec::new();
+//! let mut last = leap_prefetcher::PrefetchDecision::none();
 //! for i in 0..16u64 {
-//!     let decision = leap.on_fault(PageAddr(100 + 2 * i));
-//!     last = decision.prefetch;
+//!     last = leap.on_fault(PageAddr(100 + 2 * i));
 //! }
 //! assert!(!last.is_empty());
 //! // Candidates follow the detected +2 trend.
-//! assert_eq!(last[0], PageAddr(100 + 2 * 15 + 2));
+//! assert_eq!(last.pages()[0], PageAddr(100 + 2 * 15 + 2));
 //! ```
 
 pub mod baselines;
@@ -54,5 +53,7 @@ pub use history::AccessHistory;
 pub use leap::{LeapConfig, LeapPrefetcher};
 pub use programmed::ProgrammedPrefetcher;
 pub use trend::{find_trend, TrendOutcome};
-pub use types::{Delta, PageAddr, PrefetchDecision, Prefetcher, PrefetcherKind};
+pub use types::{
+    Delta, PageAddr, PrefetchDecision, Prefetcher, PrefetcherKind, INLINE_DECISION_PAGES,
+};
 pub use window::PrefetchWindow;

@@ -34,7 +34,7 @@ pub const DEFAULT_PROGRAM_LOOKAHEAD: usize = 8;
 /// let program = vec![10, 20, 30, 40, 50].into_iter().map(PageAddr).collect();
 /// let mut oracle = ProgrammedPrefetcher::new(program, 2);
 /// let decision = oracle.on_fault(PageAddr(20));
-/// assert_eq!(decision.prefetch, vec![PageAddr(30), PageAddr(40)]);
+/// assert_eq!(decision.pages(), &[PageAddr(30), PageAddr(40)]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ProgrammedPrefetcher {
@@ -118,10 +118,9 @@ impl Prefetcher for ProgrammedPrefetcher {
             // The page is not in the program at all: the profile missed it.
             return PrefetchDecision::none();
         }
-        let mut candidates = Vec::with_capacity(self.lookahead);
-        let mut seen = std::collections::HashSet::with_capacity(self.lookahead);
+        let mut candidates = PrefetchDecision::none();
         for &upcoming in &self.program[self.cursor.min(self.program.len())..] {
-            if upcoming == addr || !seen.insert(upcoming) {
+            if upcoming == addr || candidates.contains(upcoming) {
                 continue;
             }
             candidates.push(upcoming);
@@ -129,7 +128,7 @@ impl Prefetcher for ProgrammedPrefetcher {
                 break;
             }
         }
-        PrefetchDecision::pages(candidates)
+        candidates
     }
 
     fn on_prefetch_hit(&mut self, _addr: PageAddr) {}
@@ -157,11 +156,11 @@ mod tests {
     fn follows_the_program_exactly() {
         let mut p = ProgrammedPrefetcher::new(program(&[1, 2, 3, 4, 5, 6]), 3);
         let d = p.on_fault(PageAddr(1));
-        assert_eq!(d.prefetch, program(&[2, 3, 4]));
+        assert_eq!(d.pages(), program(&[2, 3, 4]).as_slice());
         assert!(!d.speculative);
         // Pages 2–4 were prefetched, so the next fault is 5.
         let d = p.on_fault(PageAddr(5));
-        assert_eq!(d.prefetch, program(&[6]));
+        assert_eq!(d.pages(), program(&[6]).as_slice());
         assert_eq!(p.divergence(), (2, 0));
     }
 
@@ -171,7 +170,7 @@ mod tests {
         let pages = [907, 3, 511, 90, 1, 44, 620, 7, 88, 2];
         let mut p = ProgrammedPrefetcher::from_pages(&pages, 4);
         let d = p.on_fault(PageAddr(907));
-        assert_eq!(d.prefetch, program(&[3, 511, 90, 1]));
+        assert_eq!(d.pages(), program(&[3, 511, 90, 1]).as_slice());
     }
 
     #[test]
@@ -180,7 +179,7 @@ mod tests {
         let _ = p.on_fault(PageAddr(0));
         // The execution jumps far from the program position.
         let d = p.on_fault(PageAddr(150));
-        assert_eq!(d.prefetch, program(&[151, 152]));
+        assert_eq!(d.pages(), program(&[151, 152]).as_slice());
         assert_eq!(p.divergence(), (2, 1));
     }
 
@@ -194,7 +193,7 @@ mod tests {
     fn duplicate_upcoming_pages_are_deduplicated() {
         let mut p = ProgrammedPrefetcher::new(program(&[1, 2, 2, 2, 3, 4]), 3);
         let d = p.on_fault(PageAddr(1));
-        assert_eq!(d.prefetch, program(&[2, 3, 4]));
+        assert_eq!(d.pages(), program(&[2, 3, 4]).as_slice());
     }
 
     #[test]
@@ -203,7 +202,7 @@ mod tests {
         let _ = p.on_fault(PageAddr(3));
         p.reset();
         let d = p.on_fault(PageAddr(1));
-        assert_eq!(d.prefetch, program(&[2, 3]));
+        assert_eq!(d.pages(), program(&[2, 3]).as_slice());
     }
 
     #[test]

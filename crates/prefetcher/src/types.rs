@@ -139,16 +139,54 @@ impl fmt::Display for PrefetcherKind {
     }
 }
 
+/// Number of candidate pages a [`PrefetchDecision`] stores inline, without
+/// touching the heap.
+///
+/// Prefetch windows are bounded by `PWsize_max` (the paper's default is 8),
+/// so any realistic decision fits inline; the fault hot path therefore
+/// performs **zero heap allocations** per decision. Larger windows spill to a
+/// heap buffer transparently.
+pub const INLINE_DECISION_PAGES: usize = 16;
+
 /// The outcome of a prefetch decision for one page fault.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// The candidate list lives in a small inline buffer
+/// ([`INLINE_DECISION_PAGES`] entries) and only spills to the heap for
+/// windows larger than that, keeping the per-fault hot path allocation-free
+/// for every realistic window size. Access the candidates through
+/// [`PrefetchDecision::pages`] / [`PrefetchDecision::iter`].
+#[derive(Debug, Clone)]
 pub struct PrefetchDecision {
-    /// Extra pages to read alongside the faulting page, in issue order.
-    /// The demanded page itself is *not* included.
-    pub prefetch: Vec<PageAddr>,
+    /// Inline storage for the common case (window ≤ inline capacity).
+    inline: [PageAddr; INLINE_DECISION_PAGES],
+    /// Number of valid candidates (inline or spilled).
+    len: usize,
+    /// Overflow storage; holds *all* candidates once the inline capacity is
+    /// exceeded, so `pages()` always returns one contiguous slice.
+    spill: Vec<PageAddr>,
     /// True if the decision was made speculatively (no current majority trend;
     /// the previous trend was reused — Algorithm 2, line 25).
     pub speculative: bool,
 }
+
+impl Default for PrefetchDecision {
+    fn default() -> Self {
+        PrefetchDecision {
+            inline: [PageAddr(0); INLINE_DECISION_PAGES],
+            len: 0,
+            spill: Vec::new(),
+            speculative: false,
+        }
+    }
+}
+
+impl PartialEq for PrefetchDecision {
+    fn eq(&self, other: &Self) -> bool {
+        self.speculative == other.speculative && self.pages() == other.pages()
+    }
+}
+
+impl Eq for PrefetchDecision {}
 
 impl PrefetchDecision {
     /// A decision that prefetches nothing.
@@ -157,21 +195,71 @@ impl PrefetchDecision {
     }
 
     /// Builds a non-speculative decision from candidate pages.
-    pub fn pages(prefetch: Vec<PageAddr>) -> Self {
-        PrefetchDecision {
-            prefetch,
-            speculative: false,
+    pub fn pages_from(prefetch: impl IntoIterator<Item = PageAddr>) -> Self {
+        let mut decision = PrefetchDecision::default();
+        for page in prefetch {
+            decision.push(page);
         }
+        decision
+    }
+
+    /// Appends one candidate page. Stays on the inline buffer up to
+    /// [`INLINE_DECISION_PAGES`] candidates; spills to the heap beyond that.
+    pub fn push(&mut self, page: PageAddr) {
+        if self.len < INLINE_DECISION_PAGES && self.spill.is_empty() {
+            self.inline[self.len] = page;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(page);
+        }
+        self.len += 1;
+    }
+
+    /// The candidate pages, in issue order. The demanded page itself is
+    /// *not* included.
+    pub fn pages(&self) -> &[PageAddr] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Iterates over the candidate pages in issue order.
+    pub fn iter(&self) -> std::slice::Iter<'_, PageAddr> {
+        self.pages().iter()
+    }
+
+    /// True if `page` is among the candidates.
+    pub fn contains(&self, page: PageAddr) -> bool {
+        self.pages().contains(&page)
+    }
+
+    /// True if the candidates spilled past the inline buffer to the heap.
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
     }
 
     /// Number of candidate pages.
     pub fn len(&self) -> usize {
-        self.prefetch.len()
+        self.len
     }
 
     /// True if no pages will be prefetched.
     pub fn is_empty(&self) -> bool {
-        self.prefetch.is_empty()
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a PrefetchDecision {
+    type Item = &'a PageAddr;
+    type IntoIter = std::slice::Iter<'a, PageAddr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -238,9 +326,36 @@ mod tests {
     #[test]
     fn decision_helpers() {
         assert!(PrefetchDecision::none().is_empty());
-        let d = PrefetchDecision::pages(vec![PageAddr(1), PageAddr(2)]);
+        let d = PrefetchDecision::pages_from([PageAddr(1), PageAddr(2)]);
         assert_eq!(d.len(), 2);
+        assert_eq!(d.pages(), &[PageAddr(1), PageAddr(2)]);
+        assert!(d.contains(PageAddr(2)));
         assert!(!d.speculative);
+    }
+
+    #[test]
+    fn decision_stays_inline_up_to_capacity() {
+        let mut d = PrefetchDecision::none();
+        for i in 0..INLINE_DECISION_PAGES as u64 {
+            d.push(PageAddr(i));
+        }
+        assert_eq!(d.len(), INLINE_DECISION_PAGES);
+        assert!(!d.spilled(), "window ≤ inline capacity must not allocate");
+        let expected: Vec<PageAddr> = (0..INLINE_DECISION_PAGES as u64).map(PageAddr).collect();
+        assert_eq!(d.pages(), expected.as_slice());
+    }
+
+    #[test]
+    fn decision_spills_transparently_beyond_capacity() {
+        let n = INLINE_DECISION_PAGES as u64 + 5;
+        let d = PrefetchDecision::pages_from((0..n).map(PageAddr));
+        assert_eq!(d.len(), n as usize);
+        assert!(d.spilled());
+        let expected: Vec<PageAddr> = (0..n).map(PageAddr).collect();
+        assert_eq!(d.pages(), expected.as_slice());
+        // Equality is by contents, not by storage representation.
+        let other = PrefetchDecision::pages_from((0..n).map(PageAddr));
+        assert_eq!(d, other);
     }
 
     #[test]

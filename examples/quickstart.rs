@@ -79,11 +79,7 @@ fn main() {
             "  fault {:#04x} -> trend {:?}, prefetch {:?}",
             addr,
             prefetcher.last_known_trend(),
-            decision
-                .prefetch
-                .iter()
-                .map(|p| format!("{p}"))
-                .collect::<Vec<_>>()
+            decision.iter().map(|p| format!("{p}")).collect::<Vec<_>>()
         );
     }
 }

@@ -1,0 +1,226 @@
+//! Zero per-fault heap allocations on the prefetch decision hot path.
+//!
+//! The fault hot path — access-history update, trend detection, window
+//! sizing, and candidate generation into the `PrefetchDecision` inline
+//! buffer — must not touch the heap once per-process state exists, for any
+//! window up to the inline capacity. This test binary installs a counting
+//! global allocator and pins that contract for the Leap prefetcher, the
+//! baselines, and the tracker layer the engine calls into.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use leap_repro::leap::tracker::PageAccessTracker;
+use leap_repro::leap_mem::Pid;
+use leap_repro::leap_prefetcher::{
+    LeapConfig, LeapPrefetcher, PageAddr, Prefetcher, PrefetcherKind, INLINE_DECISION_PAGES,
+};
+
+/// Counts every allocation (and reallocation) made through the global
+/// allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Serialises the tests: the allocation counter is process-wide, so any test
+/// allocating concurrently with another test's counting section would
+/// pollute its count. Every test in this binary takes the lock first.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial_guard() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs `f` three times and returns the *minimum* allocation count of one
+/// run. A genuine per-fault allocation shows up thousands of times in every
+/// run; the minimum filters out one-off noise from the test harness's own
+/// threads (which this binary cannot fully silence).
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    (0..3)
+        .map(|_| {
+            let before = allocations();
+            f();
+            allocations() - before
+        })
+        .min()
+        .expect("three runs")
+}
+
+#[test]
+fn leap_prefetcher_steady_state_faults_do_not_allocate() {
+    let _serial = serial_guard();
+    let mut p = LeapPrefetcher::new(LeapConfig::default());
+    // Warm up: build the history and lock in a sequential trend.
+    for i in 0..128u64 {
+        let _ = p.on_fault(PageAddr(i));
+    }
+    let allocs = count_allocs(|| {
+        for i in 128..8_320u64 {
+            let d = p.on_fault(PageAddr(i));
+            assert!(!d.spilled(), "paper-default window must stay inline");
+            if i % 3 == 0 {
+                p.on_prefetch_hit(PageAddr(i + 1));
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "Leap fault hot path performed {allocs} heap allocations over 8192 faults"
+    );
+}
+
+#[test]
+fn irregular_and_speculative_decisions_do_not_allocate_either() {
+    let _serial = serial_guard();
+    let mut p = LeapPrefetcher::new(LeapConfig::default());
+    for i in 0..128u64 {
+        let _ = p.on_fault(PageAddr(i * 3));
+    }
+    // A pseudo-random walk drives the window down, through the speculative
+    // path and into suspension — none of which may allocate.
+    let mut x: u64 = 99;
+    let allocs = count_allocs(|| {
+        for i in 0..4_096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let _ = p.on_fault(PageAddr(1_000_000 + (x >> 40) + i));
+        }
+    });
+    assert_eq!(allocs, 0, "irregular fault path allocated {allocs} times");
+}
+
+#[test]
+fn windows_up_to_the_inline_capacity_stay_on_the_stack() {
+    let _serial = serial_guard();
+    let mut p = LeapPrefetcher::new(LeapConfig {
+        max_prefetch_window: INLINE_DECISION_PAGES,
+        ..LeapConfig::default()
+    });
+    for i in 0..256u64 {
+        let _ = p.on_fault(PageAddr(i));
+    }
+    let allocs = count_allocs(|| {
+        for i in 256..2_304u64 {
+            let d = p.on_fault(PageAddr(i));
+            assert!(d.len() <= INLINE_DECISION_PAGES);
+            assert!(!d.spilled());
+            p.on_prefetch_hit(PageAddr(i + 1));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "inline-capacity windows allocated {allocs} times"
+    );
+}
+
+#[test]
+fn oversized_windows_spill_but_still_work() {
+    let _serial = serial_guard();
+    // Windows past the inline capacity are allowed to allocate — but must
+    // produce the full candidate list.
+    let mut p = LeapPrefetcher::new(LeapConfig {
+        max_prefetch_window: INLINE_DECISION_PAGES * 2,
+        ..LeapConfig::default()
+    });
+    // Replay a sequential stream against a cache model so prefetch hits feed
+    // back and the adaptive window can grow to its (oversized) maximum.
+    let mut cache = std::collections::HashSet::new();
+    let mut largest = 0usize;
+    for i in 0..4_096u64 {
+        let addr = PageAddr(i);
+        if cache.remove(&addr) {
+            p.on_prefetch_hit(addr);
+            continue;
+        }
+        let d = p.on_fault(addr);
+        assert!(!d.contains(addr), "prefetched the demanded page");
+        largest = largest.max(d.len());
+        for c in d.iter() {
+            cache.insert(*c);
+        }
+    }
+    assert!(
+        largest > INLINE_DECISION_PAGES,
+        "window never exceeded the inline capacity (got {largest})"
+    );
+}
+
+#[test]
+fn baseline_prefetchers_do_not_allocate_in_steady_state() {
+    let _serial = serial_guard();
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::NextNLine,
+        PrefetcherKind::Stride,
+        PrefetcherKind::ReadAhead,
+    ] {
+        let mut p = leap_repro::leap::tracker::build_prefetcher(kind, 32, 8);
+        for i in 0..64u64 {
+            let _ = p.on_fault(PageAddr(i));
+        }
+        let allocs = count_allocs(|| {
+            for i in 64..4_160u64 {
+                let _ = p.on_fault(PageAddr(i));
+            }
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{} fault hot path allocated {allocs} times",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn tracker_layer_adds_no_allocations_once_instances_exist() {
+    let _serial = serial_guard();
+    // The engine consults the prefetcher through PageAccessTracker (one
+    // instance per (pid, core)); after the instances exist, routing a fault
+    // through the tracker must be as allocation-free as the prefetcher
+    // itself.
+    let mut tracker = PageAccessTracker::from_kind(PrefetcherKind::Leap, 32, 8, true);
+    tracker.set_per_core(true);
+    for core in 0..2 {
+        for i in 0..128u64 {
+            let _ = tracker.on_fault_at(Pid(1), core, PageAddr(i));
+            let _ = tracker.on_fault_at(Pid(2), core, PageAddr(500_000 + i));
+        }
+    }
+    let allocs = count_allocs(|| {
+        for core in 0..2 {
+            for i in 128..2_176u64 {
+                let _ = tracker.on_fault_at(Pid(1), core, PageAddr(i));
+                let _ = tracker.on_fault_at(Pid(2), core, PageAddr(500_000 + i));
+                tracker.on_prefetch_hit_at(Pid(1), core, PageAddr(i + 1));
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "tracker fault routing allocated {allocs} times");
+}

@@ -1,0 +1,260 @@
+//! Serial/threaded replay equivalence: `ReplayMode::Threaded` must produce
+//! bit-identical `RunResult` aggregates and the identical merged
+//! `FaultEvent` stream as `ReplayMode::Serial` for the same seed and
+//! quantum, across core counts — plus exactly-once delivery through the
+//! batched event ring.
+
+use leap_repro::leap_sim_core::units::MIB;
+use leap_repro::leap_sim_core::Nanos;
+use leap_repro::leap_workloads::{sequential_trace, stride_trace, AccessTrace};
+use leap_repro::prelude::*;
+
+fn app_traces(n: usize, seed_base: u64) -> Vec<AccessTrace> {
+    (0..n)
+        .map(|i| {
+            AppModel::new(AppKind::ALL[i % AppKind::ALL.len()], seed_base + i as u64)
+                .with_working_set(4 * MIB)
+                .with_accesses(4_000)
+                .generate()
+        })
+        .collect()
+}
+
+fn config(cores: usize, seed: u64, mode: ReplayMode) -> SimConfig {
+    SimConfig::builder()
+        .memory_fraction(0.5)
+        .cores(cores)
+        .sched_quantum(Nanos::from_micros(250))
+        .seed(seed)
+        .replay_mode(mode)
+        .build()
+        .expect("valid config")
+}
+
+fn run_logged(config: SimConfig, traces: &[AccessTrace]) -> (EventLog, RunResult) {
+    let mut log = EventLog::default();
+    let result = VmmSimulator::new(config)
+        .session()
+        .observe(&mut log)
+        .run_multi(traces);
+    (log, result)
+}
+
+/// Compares every aggregate of two results, including the exact latency
+/// distributions.
+fn assert_results_identical(mut a: RunResult, mut b: RunResult) {
+    assert_eq!(a.completion_time, b.completion_time, "completion_time");
+    assert_eq!(a.total_accesses, b.total_accesses, "total_accesses");
+    assert_eq!(a.remote_accesses, b.remote_accesses, "remote_accesses");
+    assert_eq!(
+        a.first_touch_faults, b.first_touch_faults,
+        "first_touch_faults"
+    );
+    assert_eq!(
+        a.pages_swapped_out, b.pages_swapped_out,
+        "pages_swapped_out"
+    );
+    assert_eq!(a.cache_stats, b.cache_stats, "cache_stats");
+    assert_eq!(
+        a.prefetch_stats.pages_prefetched(),
+        b.prefetch_stats.pages_prefetched()
+    );
+    assert_eq!(
+        a.prefetch_stats.prefetch_hits(),
+        b.prefetch_stats.prefetch_hits()
+    );
+    assert_eq!(
+        a.access_latency.sorted_samples(),
+        b.access_latency.sorted_samples(),
+        "access latency distribution"
+    );
+    assert_eq!(
+        a.remote_access_latency.sorted_samples(),
+        b.remote_access_latency.sorted_samples(),
+        "remote latency distribution"
+    );
+    assert_eq!(
+        a.allocation_wait.sorted_samples(),
+        b.allocation_wait.sorted_samples(),
+        "allocation wait distribution"
+    );
+    assert_eq!(
+        a.eviction_wait.sorted_samples(),
+        b.eviction_wait.sorted_samples(),
+        "eviction wait distribution"
+    );
+}
+
+#[test]
+fn threaded_replay_is_bit_identical_to_serial_across_core_counts() {
+    let traces = app_traces(4, 40);
+    for cores in 1..=4 {
+        for seed in [3, 21] {
+            let (log_serial, serial) = run_logged(config(cores, seed, ReplayMode::Serial), &traces);
+            let (log_threaded, threaded) =
+                run_logged(config(cores, seed, ReplayMode::Threaded), &traces);
+            assert_eq!(
+                log_serial.events(),
+                log_threaded.events(),
+                "merged event stream diverged at cores={cores} seed={seed}"
+            );
+            assert_results_identical(serial, threaded);
+        }
+    }
+}
+
+#[test]
+fn merged_stream_is_core_major_with_dense_per_core_seqs() {
+    let traces = app_traces(4, 7);
+    let (log, _) = run_logged(config(3, 11, ReplayMode::Threaded), &traces);
+    // The merged stream is ordered by (core, seq)...
+    let keys: Vec<(usize, u64)> = log.events().iter().map(|e| (e.core, e.seq)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "stream not in (core, seq) order");
+    // ...and within each core the seqs are dense from zero.
+    for core in 0..log.cores_seen() {
+        let stream = log.for_core(core);
+        for (i, event) in stream.iter().enumerate() {
+            assert_eq!(event.seq, i as u64, "core {core} seq not dense");
+        }
+    }
+}
+
+#[test]
+fn threaded_replay_is_deterministic_run_to_run() {
+    let traces = app_traces(3, 90);
+    let cfg = config(4, 5, ReplayMode::Threaded);
+    let (log_a, result_a) = run_logged(cfg, &traces);
+    let (log_b, result_b) = run_logged(cfg, &traces);
+    assert_eq!(log_a.events(), log_b.events());
+    assert_results_identical(result_a, result_b);
+}
+
+#[test]
+fn modes_agree_on_single_core_degenerate_case() {
+    // One core means one worker in both modes; the whole machinery reduces
+    // to the same single-queue schedule.
+    let traces = vec![stride_trace(2 * MIB, 10, 1), sequential_trace(2 * MIB, 2)];
+    let (log_serial, serial) = run_logged(config(1, 9, ReplayMode::Serial), &traces);
+    let (log_threaded, threaded) = run_logged(config(1, 9, ReplayMode::Threaded), &traces);
+    assert_eq!(log_serial.events(), log_threaded.events());
+    assert_results_identical(serial, threaded);
+}
+
+#[test]
+fn more_workers_than_processes_leave_idle_shards_harmless() {
+    let traces = app_traces(2, 60);
+    let (log_serial, serial) = run_logged(config(4, 13, ReplayMode::Serial), &traces);
+    let (log_threaded, threaded) = run_logged(config(4, 13, ReplayMode::Threaded), &traces);
+    assert_eq!(log_serial.events(), log_threaded.events());
+    assert_results_identical(serial, threaded);
+}
+
+/// An observer that records both per-event and per-batch delivery so the
+/// exactly-once contract of the event ring can be checked.
+#[derive(Default)]
+struct BatchAudit {
+    batches: usize,
+    largest_batch: usize,
+    seqs: Vec<(usize, u64)>,
+}
+
+impl Observer for BatchAudit {
+    fn on_event(&mut self, event: &FaultEvent) {
+        self.seqs.push((event.core, event.seq));
+    }
+
+    fn on_batch(&mut self, events: &[FaultEvent]) {
+        self.batches += 1;
+        self.largest_batch = self.largest_batch.max(events.len());
+        for event in events {
+            self.on_event(event);
+        }
+    }
+}
+
+#[test]
+fn event_ring_delivers_every_event_exactly_once_under_batching() {
+    let traces = app_traces(3, 17);
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    for mode in [ReplayMode::Serial, ReplayMode::Threaded] {
+        let mut audit = BatchAudit::default();
+        let result = VmmSimulator::new(config(2, 33, mode))
+            .session()
+            .observe(&mut audit)
+            .run_multi(&traces);
+        assert_eq!(result.total_accesses, total as u64);
+        assert_eq!(
+            audit.seqs.len(),
+            total,
+            "{} events delivered, expected {total} ({mode:?})",
+            audit.seqs.len()
+        );
+        // Exactly once: every (core, seq) pair is unique.
+        let mut unique = audit.seqs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), total, "duplicate deliveries ({mode:?})");
+        // Delivery really was batched (multiple events per flush).
+        assert!(
+            audit.batches < total,
+            "every event arrived in its own batch ({mode:?})"
+        );
+        assert!(audit.largest_batch > 1, "no batch held >1 event ({mode:?})");
+    }
+}
+
+#[test]
+fn event_ring_batches_single_process_streams_too() {
+    let trace = stride_trace(4 * MIB, 10, 1);
+    let mut audit = BatchAudit::default();
+    let result = SimConfig::builder()
+        .memory_fraction(0.5)
+        .seed(3)
+        .build_vmm()
+        .expect("valid config")
+        .session()
+        .observe(&mut audit)
+        .run(&trace);
+    assert_eq!(result.total_accesses, trace.len() as u64);
+    assert_eq!(audit.seqs.len(), trace.len());
+    assert!(audit.batches < trace.len());
+}
+
+#[test]
+fn shared_prefetcher_configs_fall_back_to_the_monolithic_reference() {
+    // Without per-process isolation all processes share one prefetcher
+    // stream across cores (the kernel's global readahead state), which
+    // cannot be split into share-nothing workers — both modes must take the
+    // identical monolithic path.
+    let traces = app_traces(3, 25);
+    let base = SimConfig::linux_defaults()
+        .to_builder()
+        .cores(3)
+        .sched_quantum(Nanos::from_micros(250))
+        .seed(19);
+    let run = |mode: ReplayMode| {
+        let config = base
+            .clone()
+            .replay_mode(mode)
+            .build()
+            .expect("valid config");
+        run_logged(config, &traces)
+    };
+    let (log_serial, serial) = run(ReplayMode::Serial);
+    let (log_threaded, threaded) = run(ReplayMode::Threaded);
+    assert_eq!(log_serial.events(), log_threaded.events());
+    assert_results_identical(serial, threaded);
+    // The shared stream really is shared: coverage for the noisy mix stays
+    // below what isolated trend state achieves.
+    let isolated_cfg = SimConfig::builder()
+        .cores(3)
+        .sched_quantum(Nanos::from_micros(250))
+        .seed(19)
+        .prefetcher(PrefetcherKind::Leap)
+        .build()
+        .expect("valid config");
+    let (_, isolated) = run_logged(isolated_cfg, &traces);
+    assert!(isolated.prefetch_stats.coverage() > 0.0);
+}

@@ -29,7 +29,7 @@ fn replay(prefetcher: &mut dyn Prefetcher, pages: &[u64]) -> (u64, u64, u64) {
             continue;
         }
         misses += 1;
-        for candidate in prefetcher.on_fault(addr).prefetch {
+        for candidate in prefetcher.on_fault(addr).pages().iter().copied() {
             if cache.insert(candidate) {
                 prefetched += 1;
                 fifo.push_back(candidate);

@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use leap::prelude::*;
+use leap::stage_timing::{self, StageBreakdown};
 use leap_bench::EXPERIMENT_SEED;
 use leap_sim_core::units::MIB;
 use leap_sim_core::Nanos;
@@ -30,6 +31,10 @@ struct ModeMeasurement {
     completion: Nanos,
     remote_accesses: u64,
     result: RunResult,
+    /// Per-stage hot-path time accumulated over all repeats of this mode
+    /// (all zeros unless the binary was built with `--features
+    /// stage-timing`).
+    stages: StageBreakdown,
 }
 
 /// One workload's full row: both modes plus the derived speedup.
@@ -63,6 +68,7 @@ fn measure(
     let accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
     let mut best_ms = f64::INFINITY;
     let mut last = None;
+    stage_timing::reset();
     for _ in 0..repeats.max(1) {
         let sim = VmmSimulator::new(config(cores, mode));
         let start = Instant::now();
@@ -71,6 +77,7 @@ fn measure(
         best_ms = best_ms.min(elapsed);
         last = Some(result);
     }
+    let stages = stage_timing::snapshot();
     let result = last.expect("at least one repeat");
     ModeMeasurement {
         wall_ms: best_ms,
@@ -78,6 +85,7 @@ fn measure(
         completion: result.completion_time,
         remote_accesses: result.remote_accesses,
         result,
+        stages,
     }
 }
 
@@ -167,12 +175,30 @@ fn json_mode(m: &ModeMeasurement) -> String {
     format!(
         concat!(
             "{{\"wall_ms\":{:.3},\"pages_per_sec\":{:.0},",
-            "\"sim_completion_ns\":{},\"remote_accesses\":{}}}"
+            "\"sim_completion_ns\":{},\"remote_accesses\":{},",
+            "\"stage_breakdown\":{}}}"
         ),
         m.wall_ms,
         m.pages_per_sec,
         m.completion.as_nanos(),
         m.remote_accesses,
+        json_stages(&m.stages),
+    )
+}
+
+/// The per-stage hot-path breakdown, accumulated over every repeat of the
+/// mode (so the *shares* are what matters, not the absolute ms). All zeros
+/// without `--features stage-timing`.
+fn json_stages(s: &StageBreakdown) -> String {
+    format!(
+        concat!(
+            "{{\"prefetcher_ms\":{:.3},\"data_path_ms\":{:.3},",
+            "\"cache_ms\":{:.3},\"eviction_ms\":{:.3}}}"
+        ),
+        s.prefetcher_ns as f64 / 1e6,
+        s.data_path_ns as f64 / 1e6,
+        s.cache_ns as f64 / 1e6,
+        s.eviction_ns as f64 / 1e6,
     )
 }
 
@@ -242,6 +268,27 @@ fn main() {
         );
     }
 
+    if stage_timing::ENABLED {
+        println!("\nper-stage hot-path time (serial mode, summed over repeats):");
+        for row in &rows {
+            let s = &row.serial.stages;
+            let total = s.total_ns().max(1) as f64;
+            println!(
+                "{:<16} prefetcher {:>6.1}ms ({:>4.1}%)  data-path {:>6.1}ms ({:>4.1}%)  \
+                 cache {:>6.1}ms ({:>4.1}%)  eviction {:>6.1}ms ({:>4.1}%)",
+                row.name,
+                s.prefetcher_ns as f64 / 1e6,
+                s.prefetcher_ns as f64 * 100.0 / total,
+                s.data_path_ns as f64 / 1e6,
+                s.data_path_ns as f64 * 100.0 / total,
+                s.cache_ns as f64 / 1e6,
+                s.cache_ns as f64 * 100.0 / total,
+                s.eviction_ns as f64 / 1e6,
+                s.eviction_ns as f64 * 100.0 / total,
+            );
+        }
+    }
+
     let workloads_json: Vec<String> = rows
         .iter()
         .map(|row| {
@@ -263,14 +310,16 @@ fn main() {
         .collect();
     let json = format!(
         concat!(
-            "{{\"schema\":\"leap-replay-bench/1\",\"quick\":{},",
+            "{{\"schema\":\"leap-replay-bench/2\",\"quick\":{},",
             "\"shards\":{},\"host_cores\":{},\"peak_rss_kb\":{},",
+            "\"stage_timing\":{},",
             "\"workloads\":[{}]}}\n"
         ),
         quick,
         cores,
         host_cores,
         peak_rss_kb(),
+        stage_timing::ENABLED,
         workloads_json.join(",")
     );
     std::fs::write(&out_path, &json).expect("write bench json");

@@ -75,10 +75,41 @@ pub struct StageLatency {
     pub latency: Nanos,
 }
 
+/// Stage entries a [`PathLatency`] stores inline, without touching the
+/// heap.
+///
+/// The longest pipeline in the workspace (the legacy block-layer path)
+/// records 7 stages per request, so every breakdown a data path produces
+/// fits inline — the engine calls `read_page`/`write_page` for every remote
+/// access, every prefetch, and every write-back, and none of those calls
+/// may allocate.
+pub const INLINE_PATH_STAGES: usize = 8;
+
 /// The full latency breakdown of one page request through a data path.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Stage entries live in a fixed inline buffer ([`INLINE_PATH_STAGES`]
+/// long) and only spill to the heap for longer synthetic pipelines, keeping
+/// the per-request data-path bookkeeping allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathLatency {
-    stages: Vec<StageLatency>,
+    inline: [StageLatency; INLINE_PATH_STAGES],
+    len: usize,
+    /// Overflow storage; holds *all* entries once the inline capacity is
+    /// exceeded, so `stages()` always yields one contiguous slice.
+    spill: Vec<StageLatency>,
+}
+
+impl Default for PathLatency {
+    fn default() -> Self {
+        PathLatency {
+            inline: [StageLatency {
+                stage: Stage::CacheLookup,
+                latency: Nanos::ZERO,
+            }; INLINE_PATH_STAGES],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
 }
 
 impl PathLatency {
@@ -87,19 +118,37 @@ impl PathLatency {
         PathLatency::default()
     }
 
+    fn stages(&self) -> &[StageLatency] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
     /// Adds a stage's latency (stages may repeat, e.g. two device transfers).
     pub fn push(&mut self, stage: Stage, latency: Nanos) {
-        self.stages.push(StageLatency { stage, latency });
+        let entry = StageLatency { stage, latency };
+        if self.len < INLINE_PATH_STAGES && self.spill.is_empty() {
+            self.inline[self.len] = entry;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(entry);
+        }
+        self.len += 1;
     }
 
     /// Total end-to-end latency.
     pub fn total(&self) -> Nanos {
-        self.stages.iter().map(|s| s.latency).sum()
+        self.stages().iter().map(|s| s.latency).sum()
     }
 
     /// Latency attributed to one stage (summed over repeats).
     pub fn stage_total(&self, stage: Stage) -> Nanos {
-        self.stages
+        self.stages()
             .iter()
             .filter(|s| s.stage == stage)
             .map(|s| s.latency)
@@ -108,17 +157,17 @@ impl PathLatency {
 
     /// Iterates over the recorded stages in order.
     pub fn iter(&self) -> impl Iterator<Item = &StageLatency> {
-        self.stages.iter()
+        self.stages().iter()
     }
 
     /// Number of recorded stage entries.
     pub fn len(&self) -> usize {
-        self.stages.len()
+        self.len
     }
 
     /// True if no stages were recorded.
     pub fn is_empty(&self) -> bool {
-        self.stages.is_empty()
+        self.len == 0
     }
 }
 
@@ -166,6 +215,18 @@ mod tests {
         let p = PathLatency::new();
         assert!(p.is_empty());
         assert_eq!(p.total(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn spills_transparently_past_the_inline_capacity() {
+        let mut p = PathLatency::new();
+        for i in 0..INLINE_PATH_STAGES as u64 + 3 {
+            p.push(Stage::DeviceTransfer, Nanos::from_nanos(i + 1));
+        }
+        assert_eq!(p.len(), INLINE_PATH_STAGES + 3);
+        let expected: u64 = (1..=INLINE_PATH_STAGES as u64 + 3).sum();
+        assert_eq!(p.total(), Nanos::from_nanos(expected));
+        assert_eq!(p.iter().count(), p.len());
     }
 
     #[test]

@@ -62,6 +62,15 @@ impl PrefetchFifoLru {
         self.stats.tracked = self.fifo.len() as u64;
     }
 
+    /// Registers a whole prefetched span at once, in slice order — one
+    /// bulk append and one counter update instead of per-page calls.
+    /// Equivalent to calling [`PrefetchFifoLru::on_prefetch_insert`] for
+    /// each slot in order.
+    pub fn on_prefetch_insert_span(&mut self, slots: &[SwapSlot]) {
+        self.fifo.extend(slots.iter().copied());
+        self.stats.tracked = self.fifo.len() as u64;
+    }
+
     /// Handles a hit on a prefetched page: the cache entry is freed
     /// immediately (after the page table has been updated, which the caller
     /// models separately) and the slot leaves the FIFO.

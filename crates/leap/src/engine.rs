@@ -23,6 +23,7 @@ use crate::components::ResolvedComponents;
 use crate::config::SimConfig;
 use crate::result::RunResult;
 use crate::session::{AccessOutcome, FaultEvent};
+use crate::stage_timing::{self, Stage};
 use crate::tracker::PageAccessTracker;
 use leap_datapath::{DataPath, PathLatency};
 use leap_eviction::{CacheEvictor, EvictionReport};
@@ -53,6 +54,13 @@ pub(crate) struct EngineCore {
     core_cursor: usize,
     active_core: usize,
     scheduled: bool,
+    /// Reusable scratch for span-batched prefetch admission (slots admitted
+    /// this span), so the fault hot path never allocates for it.
+    span_scratch: Vec<SwapSlot>,
+    /// Owner pids running parallel to `span_scratch`.
+    owner_scratch: Vec<Pid>,
+    /// Per-slot presence mask for the span's batched probe.
+    present_scratch: Vec<bool>,
 }
 
 impl EngineCore {
@@ -76,6 +84,9 @@ impl EngineCore {
             core_cursor: 0,
             active_core: 0,
             scheduled: false,
+            span_scratch: Vec::new(),
+            owner_scratch: Vec::new(),
+            present_scratch: Vec::new(),
             label: setup.label(),
             config,
         }
@@ -118,6 +129,9 @@ impl EngineCore {
             core_cursor: 0,
             active_core: core,
             scheduled: true,
+            span_scratch: Vec::new(),
+            owner_scratch: Vec::new(),
+            present_scratch: Vec::new(),
             label: self.label.clone(),
             config,
         }
@@ -218,14 +232,18 @@ impl EngineCore {
     pub fn read_remote(&mut self, page_offset: u64) -> PathLatency {
         let core = self.next_core();
         let now = self.clock.now();
-        self.data_path.read_page(page_offset, core, now)
+        stage_timing::time(Stage::DataPath, || {
+            self.data_path.read_page(page_offset, core, now)
+        })
     }
 
     /// Issues one page write-back over the data path from the next core.
     pub fn write_remote(&mut self, page_offset: u64) -> PathLatency {
         let core = self.next_core();
         let now = self.clock.now();
-        self.data_path.write_page(page_offset, core, now)
+        stage_timing::time(Stage::DataPath, || {
+            self.data_path.write_page(page_offset, core, now)
+        })
     }
 
     /// Books an eviction pass into the run metrics: post-hit waits feed the
@@ -253,15 +271,25 @@ impl EngineCore {
                 self.result
                     .prefetch_stats
                     .record_prefetch_hit(now.saturating_sub(entry.inserted_at));
-                self.tracker
-                    .on_prefetch_hit_at(pid, self.active_core, PageAddr(slot.0));
+                stage_timing::time(Stage::Prefetcher, || {
+                    self.tracker
+                        .on_prefetch_hit_at(pid, self.active_core, PageAddr(slot.0))
+                });
             }
             CacheOrigin::Demand => {
                 self.result.cache_stats.record_demand_hit();
             }
         }
         let shard = self.cache.shard_of(slot);
-        self.evictors[shard].on_hit(slot, entry.origin, self.cache.shard_mut(shard))
+        stage_timing::time(Stage::Eviction, || {
+            self.evictors[shard].on_hit(slot, entry.origin, self.cache.shard_mut(shard))
+        })
+    }
+
+    /// Records a hit on `slot` in its cache shard at time `now` (the
+    /// instrumented front door to [`ShardedSwapCache::record_hit`]).
+    pub fn record_cache_hit(&mut self, slot: SwapSlot, now: Nanos) -> Option<CacheEntry> {
+        stage_timing::time(Stage::Cache, || self.cache.record_hit(slot, now))
     }
 
     /// Consults the prefetcher for `pid`'s fault at `addr` on the active
@@ -271,25 +299,134 @@ impl EngineCore {
         pid: Pid,
         addr: PageAddr,
     ) -> leap_prefetcher::PrefetchDecision {
-        self.tracker.on_fault_at(pid, self.active_core, addr)
+        stage_timing::time(Stage::Prefetcher, || {
+            self.tracker.on_fault_at(pid, self.active_core, addr)
+        })
     }
 
-    /// Makes room for `slot` in its (bounded) cache shard. Returns `false`
-    /// when the shard's policy could not free anything (the caller should
-    /// skip its insert).
-    pub fn make_cache_space(&mut self, slot: SwapSlot) -> bool {
-        let shard = self.cache.shard_of(slot);
+    /// Makes room in an already-routed cache shard (the span-batched
+    /// admission path routes once per span, not once per page).
+    pub fn make_cache_space_at(&mut self, shard: usize) -> bool {
         if !self.cache.shard(shard).is_full() {
             return true;
         }
         self.force_evict(shard)
     }
 
+    /// Admits a whole prefetch span into the cache: for each slot, probe
+    /// presence, make room, issue the read over the data path, and insert —
+    /// with routing done once per span and the statistics/eviction
+    /// bookkeeping batched whenever the span's shard has room for all of it
+    /// (then no eviction can interleave, so batch and per-page sequencing
+    /// are observably identical). `owners[i]` is the process whose page
+    /// lives in `slots[i]`.
+    ///
+    /// Decision-for-decision equivalent to the historical per-candidate
+    /// loop (probe, `make_cache_space`, `read_remote`,
+    /// `insert_prefetched`), which the spans-vs-loops property tests pin.
+    /// Returns how many prefetches were issued.
+    pub fn admit_prefetch_span(&mut self, slots: &[SwapSlot], owners: &[Pid]) -> u32 {
+        debug_assert_eq!(slots.len(), owners.len());
+        if slots.is_empty() {
+            return 0;
+        }
+        let span_shard = self.cache.span_shard(slots);
+        if let Some(shard) = span_shard {
+            if self.cache.shard(shard).free_pages() >= slots.len() as u64 {
+                return self.admit_span_batched(shard, slots, owners);
+            }
+        }
+        // Careful path: the span straddles shards or its shard may have to
+        // evict mid-span, so keep strict per-slot sequencing (the eviction
+        // policy must see every insert before the next make-space call).
+        let mut issued = 0u32;
+        for (i, &slot) in slots.iter().enumerate() {
+            let shard = span_shard.unwrap_or_else(|| self.cache.shard_of(slot));
+            if stage_timing::time(Stage::Cache, || self.cache.shard(shard).contains(slot)) {
+                continue;
+            }
+            if !self.make_cache_space_at(shard) {
+                continue;
+            }
+            let _ = self.read_remote(slot.0);
+            let now = self.clock.now();
+            stage_timing::time(Stage::Cache, || {
+                self.cache.shard_mut(shard).insert_fresh(
+                    slot,
+                    owners[i],
+                    CacheOrigin::Prefetch,
+                    now,
+                )
+            });
+            self.result.cache_stats.record_add(1);
+            self.result.prefetch_stats.record_prefetched(1);
+            stage_timing::time(Stage::Eviction, || {
+                self.evictors[shard].on_insert(slot, CacheOrigin::Prefetch)
+            });
+            issued += 1;
+        }
+        issued
+    }
+
+    /// The no-eviction-possible fast path of [`EngineCore::admit_prefetch_span`]:
+    /// one presence probe and one read per page, then one batched insert
+    /// pass, one evictor notification, and one statistics update for the
+    /// whole span.
+    fn admit_span_batched(&mut self, shard: usize, slots: &[SwapSlot], owners: &[Pid]) -> u32 {
+        let mut admitted = std::mem::take(&mut self.span_scratch);
+        let mut admitted_owners = std::mem::take(&mut self.owner_scratch);
+        let mut present = std::mem::take(&mut self.present_scratch);
+        admitted.clear();
+        admitted_owners.clear();
+        present.clear();
+        present.resize(slots.len(), false);
+        // One routed presence probe for the whole span; sound because the
+        // cache is not mutated until the insert pass below.
+        stage_timing::time(Stage::Cache, || {
+            self.cache.contains_span(slots, &mut present);
+        });
+        for (i, &slot) in slots.iter().enumerate() {
+            // The in-span duplicate guard stands in for the presence check
+            // a per-page loop would have re-done after each insert
+            // (prefetchers outside this crate may emit duplicate
+            // candidates); spans are at most one prefetch window, so the
+            // linear scan is cheaper than hashing.
+            if present[i] || admitted.contains(&slot) {
+                continue;
+            }
+            let _ = self.read_remote(slot.0);
+            admitted.push(slot);
+            admitted_owners.push(owners[i]);
+        }
+        let now = self.clock.now();
+        stage_timing::time(Stage::Cache, || {
+            self.cache.insert_fresh_span(
+                shard,
+                &admitted,
+                &admitted_owners,
+                CacheOrigin::Prefetch,
+                now,
+            );
+        });
+        stage_timing::time(Stage::Eviction, || {
+            self.evictors[shard].on_insert_span(&admitted, CacheOrigin::Prefetch)
+        });
+        let issued = admitted.len() as u32;
+        self.result.cache_stats.record_add(issued as u64);
+        self.result.prefetch_stats.record_prefetched(issued as u64);
+        self.span_scratch = admitted;
+        self.owner_scratch = admitted_owners;
+        self.present_scratch = present;
+        issued
+    }
+
     /// Runs one eviction pass of `shard`'s policy and books its effects.
     /// Returns `true` if anything was freed.
     pub fn force_evict(&mut self, shard: usize) -> bool {
         let now = self.clock.now();
-        let report = self.evictors[shard].make_space(self.cache.shard_mut(shard), 1, now);
+        let report = stage_timing::time(Stage::Eviction, || {
+            self.evictors[shard].make_space(self.cache.shard_mut(shard), 1, now)
+        });
         let freed = !report.is_empty();
         self.record_eviction_report(&report);
         freed
@@ -300,11 +437,15 @@ impl EngineCore {
     /// counter. Returns `true` if the insert took place.
     pub fn insert_prefetched(&mut self, slot: SwapSlot, owner: Pid) -> bool {
         let now = self.clock.now();
-        if self.cache.insert(slot, owner, CacheOrigin::Prefetch, now) {
+        if stage_timing::time(Stage::Cache, || {
+            self.cache.insert(slot, owner, CacheOrigin::Prefetch, now)
+        }) {
             self.result.cache_stats.record_add(1);
             self.result.prefetch_stats.record_prefetched(1);
             let shard = self.cache.shard_of(slot);
-            self.evictors[shard].on_insert(slot, CacheOrigin::Prefetch);
+            stage_timing::time(Stage::Eviction, || {
+                self.evictors[shard].on_insert(slot, CacheOrigin::Prefetch)
+            });
             true
         } else {
             false
@@ -315,9 +456,13 @@ impl EngineCore {
     /// shard's eviction policy. Returns `true` if the insert took place.
     pub fn insert_demand(&mut self, slot: SwapSlot, owner: Pid) -> bool {
         let now = self.clock.now();
-        if self.cache.insert(slot, owner, CacheOrigin::Demand, now) {
+        if stage_timing::time(Stage::Cache, || {
+            self.cache.insert(slot, owner, CacheOrigin::Demand, now)
+        }) {
             let shard = self.cache.shard_of(slot);
-            self.evictors[shard].on_insert(slot, CacheOrigin::Demand);
+            stage_timing::time(Stage::Eviction, || {
+                self.evictors[shard].on_insert(slot, CacheOrigin::Demand)
+            });
             true
         } else {
             false
@@ -342,9 +487,10 @@ impl EngineCore {
     pub fn background_reclaim(&mut self) {
         let now = self.clock.now();
         let shard = self.active_core.min(self.evictors.len() - 1);
-        if let Some(report) =
+        let report = stage_timing::time(Stage::Eviction, || {
             self.evictors[shard].background_reclaim(self.cache.shard_mut(shard), now)
-        {
+        });
+        if let Some(report) = report {
             self.record_eviction_report(&report);
         }
     }

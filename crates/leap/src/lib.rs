@@ -73,6 +73,7 @@ pub mod parallel;
 pub mod result;
 pub mod sched;
 pub mod session;
+pub mod stage_timing;
 pub mod tracker;
 pub mod vfs;
 pub mod vmm;

@@ -88,7 +88,7 @@ impl VfsSimulator {
         let slot = SwapSlot(page);
         self.engine.result.prefetch_stats.record_request();
 
-        if let Some(entry) = self.engine.cache.record_hit(slot, now) {
+        if let Some(entry) = self.engine.record_cache_hit(slot, now) {
             self.engine.note_cache_hit(pid, slot, &entry);
             return (
                 VFS_CACHE_HIT,

@@ -33,12 +33,14 @@ use crate::parallel::{self, CoreWorker};
 use crate::result::RunResult;
 use crate::sched::CoreScheduler;
 use crate::session::{AccessOutcome, FaultEvent, Observer, Simulator};
-use leap_mem::{FramePool, LruList, MemoryLimit, PageState, PageTable, Pid, ShardedSwap, VirtPage};
+use leap_mem::{
+    FramePool, LruList, MemoryLimit, PageState, PageTable, Pid, ShardedSwap, SwapSlot, VirtPage,
+};
 use leap_prefetcher::PageAddr;
+use leap_sim_core::hash::FxHashMap;
 use leap_sim_core::units::PAGE_SIZE;
 use leap_sim_core::Nanos;
 use leap_workloads::{Access, AccessTrace};
-use std::collections::HashMap;
 
 /// Latency of a local DRAM access (page already resident and mapped).
 const LOCAL_ACCESS: Nanos = Nanos(100);
@@ -73,9 +75,18 @@ struct ProcessState {
 #[derive(Debug)]
 pub struct VmmSimulator {
     engine: EngineCore,
-    processes: HashMap<Pid, ProcessState>,
+    processes: FxHashMap<Pid, ProcessState>,
     frames: FramePool,
     swap: ShardedSwap,
+    /// Reusable scratch for span-batched prefetch admission: the span's
+    /// swap slots, their owners (batch-probed), and the kept owners'
+    /// pids. Allocated once; the fault hot path never grows them past the
+    /// first few faults.
+    span_slots: Vec<SwapSlot>,
+    span_owners: Vec<Option<(Pid, VirtPage)>>,
+    span_pids: Vec<Pid>,
+    span_pages: Vec<VirtPage>,
+    span_states: Vec<PageState>,
 }
 
 impl VmmSimulator {
@@ -96,7 +107,7 @@ impl VmmSimulator {
     pub fn from_setup(setup: &SimSetup) -> Self {
         VmmSimulator {
             engine: EngineCore::new(setup, 0),
-            processes: HashMap::new(),
+            processes: FxHashMap::default(),
             // The frame pool is sized lazily per-process via MemoryLimit; the
             // global pool just needs to be large enough to never be the
             // binding constraint. The swap space starts unsharded (one
@@ -104,6 +115,11 @@ impl VmmSimulator {
             // `prepare_multi`.
             frames: FramePool::new(u64::MAX / 2),
             swap: ShardedSwap::new(1, SWAP_CAPACITY),
+            span_slots: Vec::new(),
+            span_owners: Vec::new(),
+            span_pids: Vec::new(),
+            span_pages: Vec::new(),
+            span_states: Vec::new(),
         }
     }
 
@@ -128,12 +144,18 @@ impl VmmSimulator {
             working_set_pages * PAGE_SIZE,
             self.engine.config.memory_fraction,
         );
+        // Pre-size the per-process maps from the trace's working set (the
+        // page table sees every touched page; the LRU at most the resident
+        // limit), clamped so a degenerate trace cannot pre-allocate the
+        // world: steady-state faults then never rehash either structure.
+        let table_hint = working_set_pages.min(1 << 22) as usize;
+        let lru_hint = limit.limit_pages().min(table_hint as u64) as usize;
         self.processes.insert(
             pid,
             ProcessState {
-                page_table: PageTable::new(),
+                page_table: PageTable::with_capacity(table_hint),
                 limit,
-                resident_lru: LruList::new(),
+                resident_lru: LruList::with_capacity(lru_hint),
             },
         );
     }
@@ -155,7 +177,7 @@ impl VmmSimulator {
         let mut latency;
         let mut prefetches_issued = 0u32;
         let outcome;
-        let cache_hit = if let Some(entry) = self.engine.cache.record_hit(slot, now) {
+        let cache_hit = if let Some(entry) = self.engine.record_cache_hit(slot, now) {
             // Swap-cache hit: the page's data is already in local DRAM, so
             // the access costs the cache lookup plus a fast page-table map —
             // sub-µs, as the paper reports for Leap up to the 85th percentile.
@@ -201,38 +223,105 @@ impl VmmSimulator {
 
     /// Reads the prefetch candidates into the swap cache (asynchronously
     /// with respect to the faulting access). Returns how many were issued.
+    ///
+    /// Span-batched: the candidate span's swap owners are probed in one
+    /// routed pass ([`ShardedSwap::owners_span`]), the resulting keep-list
+    /// is filtered against residency, and the surviving span is admitted
+    /// through [`EngineCore::admit_prefetch_span`] — one shard route (and
+    /// batched eviction/statistics bookkeeping) per span instead of per
+    /// page. All pre-filters are read-only with respect to the state the
+    /// admission loop mutates, so the outcome is identical to the
+    /// historical per-candidate loop.
     fn issue_prefetches(&mut self, candidates: &[PageAddr]) -> u32 {
-        let mut issued = 0u32;
-        for candidate in candidates {
-            let slot = leap_mem::SwapSlot(candidate.0);
-            // Only pages that are actually swapped out can be prefetched.
-            let Some((owner_pid, owner_page)) = self.swap.owner(slot) else {
-                continue;
-            };
-            // Skip pages that are already resident or already cached.
-            if self.engine.cache.contains(slot) {
-                continue;
-            }
-            if let Some(owner) = self.processes.get(&owner_pid) {
-                if owner.page_table.is_resident(owner_page) {
-                    continue;
+        if candidates.is_empty() {
+            return 0;
+        }
+        self.span_slots.clear();
+        self.span_slots
+            .extend(candidates.iter().map(|c| SwapSlot(c.0)));
+        self.span_owners.clear();
+        self.span_owners.resize(self.span_slots.len(), None);
+        // Only pages that are actually swapped out can be prefetched; the
+        // batch probe routes the span to its owning swap region once.
+        self.swap
+            .owners_span(&self.span_slots, &mut self.span_owners);
+
+        // Compact the span down to prefetchable candidates: swapped out and
+        // not already resident in their owner's page table.
+        //
+        // Common case first: every owned slot belongs to one process (the
+        // span follows one process's trend through its own swap region), so
+        // the owner's page table answers the whole span in one batched
+        // probe ([`PageTable::lookup_span`]) after a single process-map
+        // lookup. Mixed-owner spans fall back to per-slot probes.
+        self.span_pids.clear();
+        let mut kept = 0usize;
+        let mut single_owner: Option<Pid> = None;
+        let mut mixed = false;
+        for (pid, _) in self.span_owners.iter().flatten() {
+            match single_owner {
+                None => single_owner = Some(*pid),
+                Some(p) if p != *pid => {
+                    mixed = true;
+                    break;
                 }
-            }
-            // Make room in a bounded prefetch cache (Figure 12): the
-            // eviction policy decides what goes (unconsumed prefetches FIFO
-            // under eager, LRU scan under lazy).
-            if !self.engine.make_cache_space(slot) {
-                continue;
-            }
-            // Issue the read; the transfer happens off the critical path, so
-            // only the dispatch-queue occupancy matters (captured inside the
-            // lean data path's shared agent).
-            let _ = self.engine.read_remote(slot.0);
-            if self.engine.insert_prefetched(slot, owner_pid) {
-                issued += 1;
+                _ => {}
             }
         }
-        issued
+        match single_owner {
+            Some(pid) if !mixed && self.processes.contains_key(&pid) => {
+                self.span_pages.clear();
+                self.span_pages.extend(
+                    self.span_owners
+                        .iter()
+                        .filter_map(|o| o.map(|(_, page)| page)),
+                );
+                self.span_states.clear();
+                self.span_states
+                    .resize(self.span_pages.len(), PageState::Untouched);
+                let process = self.processes.get(&pid).expect("checked above");
+                process
+                    .page_table
+                    .lookup_span(&self.span_pages, &mut self.span_states);
+                let mut owned = 0usize;
+                for i in 0..self.span_slots.len() {
+                    if self.span_owners[i].is_none() {
+                        continue;
+                    }
+                    let resident = matches!(self.span_states[owned], PageState::Resident(_));
+                    owned += 1;
+                    if resident {
+                        continue;
+                    }
+                    self.span_slots[kept] = self.span_slots[i];
+                    self.span_pids.push(pid);
+                    kept += 1;
+                }
+            }
+            _ => {
+                for i in 0..self.span_slots.len() {
+                    let Some((owner_pid, owner_page)) = self.span_owners[i] else {
+                        continue;
+                    };
+                    if let Some(owner) = self.processes.get(&owner_pid) {
+                        if owner.page_table.is_resident(owner_page) {
+                            continue;
+                        }
+                    }
+                    self.span_slots[kept] = self.span_slots[i];
+                    self.span_pids.push(owner_pid);
+                    kept += 1;
+                }
+            }
+        }
+        self.span_slots.truncate(kept);
+
+        // Presence probes, room-making (Figure 12's bounded cache), the
+        // reads themselves (off the critical path: only dispatch-queue
+        // occupancy matters), and the inserts all happen span-at-a-time in
+        // the engine.
+        self.engine
+            .admit_prefetch_span(&self.span_slots, &self.span_pids)
     }
 
     /// Ensures `pages` frames can be charged to `pid`, swapping out the least
@@ -306,9 +395,14 @@ impl VmmSimulator {
             .map(|core| {
                 let mut worker = VmmSimulator {
                     engine: self.engine.shard_worker(core, shards),
-                    processes: HashMap::new(),
+                    processes: FxHashMap::default(),
                     frames: FramePool::new(u64::MAX / 2),
                     swap: ShardedSwap::region(core, shards, SWAP_CAPACITY),
+                    span_slots: Vec::new(),
+                    span_owners: Vec::new(),
+                    span_pids: Vec::new(),
+                    span_pages: Vec::new(),
+                    span_states: Vec::new(),
                 };
                 let mut accesses = 0usize;
                 for process in sched.run_queue(core) {

@@ -5,7 +5,7 @@
 //! module provides the ordered structure those policies need; the scan-cost
 //! and eviction *policies* live in the `leap-eviction` crate.
 
-use std::collections::HashMap;
+use leap_sim_core::hash::{fx_map_with_capacity, FxHashMap};
 use std::hash::Hash;
 
 /// An ordered least-recently-used list over keys of type `K`.
@@ -31,7 +31,7 @@ use std::hash::Hash;
 pub struct LruList<K: Eq + Hash + Clone> {
     nodes: Vec<Node<K>>,
     free: Vec<usize>,
-    index: HashMap<K, usize>,
+    index: FxHashMap<K, usize>,
     head: Option<usize>, // most recently used
     tail: Option<usize>, // least recently used
 }
@@ -55,7 +55,20 @@ impl<K: Eq + Hash + Clone> LruList<K> {
         LruList {
             nodes: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    /// Creates an empty list pre-sized for `capacity` keys (e.g. a
+    /// process's resident-page limit), so steady-state `push`/`touch`
+    /// never reallocate the node slab or rehash the index.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LruList {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            index: fx_map_with_capacity(capacity),
             head: None,
             tail: None,
         }

@@ -1,7 +1,7 @@
 //! Per-process page tables.
 
 use crate::types::{FrameId, SwapSlot, VirtPage};
-use std::collections::HashMap;
+use leap_sim_core::hash::{fx_map_with_capacity, FxHashMap};
 
 /// The state of one virtual page in a process's address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub enum PageState {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<VirtPage, PageState>,
+    entries: FxHashMap<VirtPage, PageState>,
     resident: u64,
 }
 
@@ -41,6 +41,29 @@ impl PageTable {
     /// Creates an empty page table.
     pub fn new() -> Self {
         PageTable::default()
+    }
+
+    /// Creates a page table pre-sized for `pages` touched pages (typically
+    /// the process's working-set size from its trace), so steady-state
+    /// faults never rehash the entry map.
+    pub fn with_capacity(pages: usize) -> Self {
+        PageTable {
+            entries: fx_map_with_capacity(pages),
+            resident: 0,
+        }
+    }
+
+    /// The state of every page in `pages`, written into `out` (batch probe:
+    /// one call per prefetch span instead of one virtual-dispatch round trip
+    /// per page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `pages`.
+    pub fn lookup_span(&self, pages: &[VirtPage], out: &mut [PageState]) {
+        for (i, &page) in pages.iter().enumerate() {
+            out[i] = self.lookup(page);
+        }
     }
 
     /// Returns the state of a virtual page.
@@ -173,6 +196,27 @@ mod tests {
     }
 
     proptest! {
+        /// `lookup_span` ≡ a per-page `lookup` loop.
+        #[test]
+        fn prop_lookup_span_matches_loop(
+            ops in proptest::collection::vec((0u64..32, any::<bool>()), 0..100),
+            span in proptest::collection::vec(0u64..48, 0..16),
+        ) {
+            let mut pt = PageTable::with_capacity(32);
+            for (page, map_in) in ops {
+                if map_in {
+                    pt.map(VirtPage(page), FrameId(page));
+                } else {
+                    let _ = pt.unmap_to_swap(VirtPage(page), SwapSlot(page));
+                }
+            }
+            let pages: Vec<VirtPage> = span.iter().copied().map(VirtPage).collect();
+            let mut batched = vec![PageState::Untouched; pages.len()];
+            pt.lookup_span(&pages, &mut batched);
+            let looped: Vec<PageState> = pages.iter().map(|&p| pt.lookup(p)).collect();
+            prop_assert_eq!(batched, looped);
+        }
+
         /// The resident counter always matches the number of resident entries.
         #[test]
         fn prop_resident_count_consistent(

@@ -9,7 +9,7 @@
 //! interleave in the shared offset space.
 
 use crate::types::{Pid, SwapSlot, VirtPage};
-use std::collections::HashMap;
+use leap_sim_core::hash::FxHashMap;
 
 /// The shared swap area: allocation of slots and slot → page bookkeeping.
 ///
@@ -36,10 +36,10 @@ pub struct SwapSpace {
     /// Slots that have been freed and can be reused.
     free_slots: Vec<SwapSlot>,
     /// Owner of each in-use slot.
-    owners: HashMap<SwapSlot, (Pid, VirtPage)>,
+    owners: FxHashMap<SwapSlot, (Pid, VirtPage)>,
     /// Reverse map so a page that is swapped out again can reuse its slot,
     /// which the kernel does when the swap-cache copy is still clean.
-    by_page: HashMap<(Pid, VirtPage), SwapSlot>,
+    by_page: FxHashMap<(Pid, VirtPage), SwapSlot>,
 }
 
 impl SwapSpace {
@@ -60,8 +60,8 @@ impl SwapSpace {
             capacity,
             next_fresh: base,
             free_slots: Vec::new(),
-            owners: HashMap::new(),
-            by_page: HashMap::new(),
+            owners: FxHashMap::default(),
+            by_page: FxHashMap::default(),
         }
     }
 

@@ -8,8 +8,8 @@
 //! bookkeeping needed to compute accuracy, coverage, and timeliness (§3.1).
 
 use crate::types::{Pid, SwapSlot};
+use leap_sim_core::hash::{fx_map_with_capacity, FxHashMap};
 use leap_sim_core::Nanos;
-use std::collections::HashMap;
 
 /// How a page entered the swap cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,15 +53,34 @@ pub struct CacheEntry {
 #[derive(Debug, Clone)]
 pub struct SwapCache {
     capacity_pages: u64,
-    entries: HashMap<SwapSlot, CacheEntry>,
+    entries: FxHashMap<SwapSlot, CacheEntry>,
 }
+
+/// Entries pre-reserved for caches whose configured capacity is unbounded
+/// (or absurdly large): enough that realistic replays never rehash early,
+/// small enough to cost nothing per shard.
+const DEFAULT_RESERVE_PAGES: usize = 1_024;
 
 impl SwapCache {
     /// Creates a cache bounded to `capacity_pages` pages.
+    ///
+    /// The entry map is pre-reserved from the capacity (clamped to 1024
+    /// entries so an unbounded capacity does not pre-allocate the world),
+    /// so small bounded caches never rehash and large ones only rehash
+    /// past the reserve. Callers that know the real expected population
+    /// use [`SwapCache::with_capacity_hint`].
     pub fn new(capacity_pages: u64) -> Self {
+        let reserve = capacity_pages.min(DEFAULT_RESERVE_PAGES as u64) as usize;
+        SwapCache::with_capacity_hint(capacity_pages, reserve)
+    }
+
+    /// Creates a cache bounded to `capacity_pages` pages with the entry map
+    /// pre-sized for `expected_pages` entries (e.g. the configured prefetch
+    /// cache capacity, known at build time).
+    pub fn with_capacity_hint(capacity_pages: u64, expected_pages: usize) -> Self {
         SwapCache {
             capacity_pages,
-            entries: HashMap::new(),
+            entries: fx_map_with_capacity(expected_pages),
         }
     }
 
@@ -125,6 +144,32 @@ impl SwapCache {
             },
         );
         true
+    }
+
+    /// Inserts a page the caller has already verified to be absent and to
+    /// have room (the span-batched prefetch path probes presence and makes
+    /// space first): one hash-table operation instead of the
+    /// presence-check-plus-insert pair [`SwapCache::insert`] performs.
+    ///
+    /// Behaviour is identical to `insert` under the stated precondition;
+    /// violating it (slot present, or cache full) is caught by a debug
+    /// assertion and in release builds degrades to `insert`'s semantics of
+    /// refreshing the entry.
+    pub fn insert_fresh(&mut self, slot: SwapSlot, pid: Pid, origin: CacheOrigin, now: Nanos) {
+        debug_assert!(
+            !self.is_full() || self.entries.contains_key(&slot),
+            "insert_fresh on a full cache"
+        );
+        let prev = self.entries.insert(
+            slot,
+            CacheEntry {
+                pid,
+                origin,
+                inserted_at: now,
+                first_hit_at: None,
+            },
+        );
+        debug_assert!(prev.is_none(), "insert_fresh on a cached slot");
     }
 
     /// Records a hit on `slot` at time `now`, returning the updated entry.

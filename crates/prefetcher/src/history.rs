@@ -118,6 +118,18 @@ impl AccessHistory {
         self.last_delta
     }
 
+    /// The delta `offset` positions back from the head (0 = most recent),
+    /// or `None` past the recorded length. O(1); this is what lets the
+    /// incremental trend detector find the element leaving a sliding window
+    /// without walking the ring.
+    pub fn delta_at(&self, offset: usize) -> Option<Delta> {
+        if offset >= self.len {
+            return None;
+        }
+        let idx = (self.head + self.capacity - offset) % self.capacity;
+        Some(self.deltas[idx])
+    }
+
     /// Iterates over stored deltas from the most recent backwards.
     pub fn iter_recent(&self) -> RecentDeltas<'_> {
         RecentDeltas {

@@ -3,7 +3,9 @@
 //! On every fault the prefetcher:
 //!
 //! 1. Records the fault in the process's [`AccessHistory`].
-//! 2. Runs [`find_trend`] over the history (Algorithm 1).
+//! 2. Queries the majority trend over the history (Algorithm 1) — answered
+//!    from the [`IncrementalTrendDetector`]'s cached per-tier state, which
+//!    is bit-identical to the [`crate::find_trend`] reference.
 //! 3. Computes the prefetch window size from prefetch-hit feedback and from
 //!    whether the faulting page follows the currently known trend
 //!    ([`PrefetchWindow`]).
@@ -13,7 +15,8 @@
 //!    so that short-term irregularities do not suspend prefetching outright.
 
 use crate::history::{AccessHistory, DEFAULT_HISTORY_SIZE};
-use crate::trend::{find_trend, TrendOutcome, DEFAULT_N_SPLIT};
+use crate::incremental::IncrementalTrendDetector;
+use crate::trend::{TrendOutcome, DEFAULT_N_SPLIT};
 use crate::types::{Delta, PageAddr, PrefetchDecision, Prefetcher, PrefetcherKind};
 use crate::window::{PrefetchWindow, DEFAULT_MAX_WINDOW};
 use serde::{Deserialize, Serialize};
@@ -60,7 +63,10 @@ impl Default for LeapConfig {
 #[derive(Debug, Clone)]
 pub struct LeapPrefetcher {
     config: LeapConfig,
-    history: AccessHistory,
+    /// Owns the access history and answers Algorithm 1 from cached per-tier
+    /// majority state (`O(1)` amortized per fault; bit-identical to
+    /// [`crate::find_trend`], which remains the reference implementation).
+    detector: IncrementalTrendDetector,
     window: PrefetchWindow,
     /// The most recent majority delta ever observed (`latest ∆maj`), used for
     /// speculative prefetching when the current window has no majority and
@@ -79,7 +85,7 @@ impl LeapPrefetcher {
     pub fn new(config: LeapConfig) -> Self {
         LeapPrefetcher {
             config,
-            history: AccessHistory::new(config.history_size),
+            detector: IncrementalTrendDetector::new(config.history_size, config.n_split),
             window: PrefetchWindow::new(config.max_prefetch_window),
             last_known_trend: None,
             faults: 0,
@@ -116,7 +122,7 @@ impl LeapPrefetcher {
 
     /// Read-only view of the access history (used by tests and reports).
     pub fn history(&self) -> &AccessHistory {
-        &self.history
+        self.detector.history()
     }
 
     /// Generates candidate pages following `delta` starting *after* `from`.
@@ -192,10 +198,11 @@ impl Default for LeapPrefetcher {
 impl Prefetcher for LeapPrefetcher {
     fn on_fault(&mut self, addr: PageAddr) -> PrefetchDecision {
         self.faults += 1;
-        let delta = self.history.record(addr);
+        let delta = self.detector.record(addr);
 
-        // Algorithm 1: look for a majority trend in the recent history.
-        let trend = find_trend(&self.history, self.config.n_split);
+        // Algorithm 1: the majority trend over the recent history, answered
+        // from the detector's cached tiers instead of an O(Hsize) rescan.
+        let trend = self.detector.trend();
 
         // "Pt follows the current trend" (Algorithm 2 line 6): the delta that
         // brought us to Pt matches the majority delta currently in effect —
@@ -235,7 +242,7 @@ impl Prefetcher for LeapPrefetcher {
         // (the PTE is not present; `do_swap_page()` finds the page in the
         // swap cache), so it is logged in the access history exactly like a
         // miss. It additionally counts towards `Chit` for window sizing.
-        self.history.record(addr);
+        self.detector.record(addr);
         self.window.record_hit();
     }
 
@@ -244,7 +251,7 @@ impl Prefetcher for LeapPrefetcher {
     }
 
     fn reset(&mut self) {
-        self.history.clear();
+        self.detector.clear();
         self.window.reset();
         self.last_known_trend = None;
         self.faults = 0;

@@ -15,7 +15,10 @@
 //! - [`majority`]: the Boyer–Moore majority vote algorithm (linear time,
 //!   constant space) used by trend detection.
 //! - [`trend`]: `FindTrend` (Algorithm 1) — grows the detection window until a
-//!   majority delta emerges.
+//!   majority delta emerges (the from-scratch reference implementation).
+//! - [`incremental`]: [`IncrementalTrendDetector`] — the same algorithm as
+//!   cached per-tier state updated per access, so the per-fault trend query
+//!   is O(1) amortized instead of an O(Hsize) rescan.
 //! - [`window`]: the adaptive prefetch-window controller (Algorithm 2,
 //!   `GetPrefetchWindowSize`).
 //! - [`leap`]: [`LeapPrefetcher`], the full majority-trend prefetcher
@@ -41,6 +44,7 @@
 
 pub mod baselines;
 pub mod history;
+pub mod incremental;
 pub mod leap;
 pub mod majority;
 pub mod programmed;
@@ -50,6 +54,7 @@ pub mod window;
 
 pub use baselines::{NextNLinePrefetcher, NoPrefetcher, ReadAheadPrefetcher, StridePrefetcher};
 pub use history::AccessHistory;
+pub use incremental::IncrementalTrendDetector;
 pub use leap::{LeapConfig, LeapPrefetcher};
 pub use programmed::ProgrammedPrefetcher;
 pub use trend::{find_trend, TrendOutcome};

@@ -243,9 +243,17 @@ mod tests {
         ) {
             let h = history_from_addrs(32, &addrs);
             if let TrendOutcome::Trend { delta, window } = find_trend(&h, n_split) {
-                let recent = h.recent(window);
-                let occurrences = recent.iter().filter(|&&d| d == delta).count();
-                prop_assert!(occurrences > recent.len() / 2);
+                // Single pass over the window: count occurrences and the
+                // window length together, without materialising a Vec per
+                // proptest case.
+                let (mut occurrences, mut total) = (0usize, 0usize);
+                for d in h.iter_recent().take(window) {
+                    total += 1;
+                    if d == delta {
+                        occurrences += 1;
+                    }
+                }
+                prop_assert!(occurrences > total / 2);
             }
         }
 

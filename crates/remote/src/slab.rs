@@ -5,8 +5,8 @@
 //! machines (§4.4). Slab granularity keeps the mapping table small and lets
 //! the agent balance load machine-by-machine.
 
+use leap_sim_core::hash::FxHashMap;
 use leap_sim_core::units::{GIB, PAGE_SIZE};
-use std::collections::HashMap;
 
 /// Default slab size (1 GB, as used by Infiniswap-style systems).
 pub const DEFAULT_SLAB_BYTES: u64 = GIB;
@@ -150,7 +150,9 @@ impl RemoteCluster {
 #[derive(Debug, Clone, Default)]
 pub struct SlabMap {
     slab_bytes: u64,
-    placements: HashMap<SlabId, Vec<MachineId>>,
+    /// Slab placements, probed once per remote I/O — hashed with the
+    /// hot-path [`FxHashMap`] (slab ids are simulator-generated integers).
+    placements: FxHashMap<SlabId, Vec<MachineId>>,
 }
 
 impl SlabMap {
@@ -163,7 +165,7 @@ impl SlabMap {
         assert!(slab_bytes >= PAGE_SIZE, "slab must hold at least one page");
         SlabMap {
             slab_bytes,
-            placements: HashMap::new(),
+            placements: FxHashMap::default(),
         }
     }
 

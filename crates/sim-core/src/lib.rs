@@ -12,17 +12,22 @@
 //!   and software-stage costs (constant, uniform, normal, log-normal and
 //!   empirical mixtures with heavy tails).
 //! - [`units`]: byte-size constants and page geometry shared by all crates.
+//! - [`hash`]: a dependency-free FxHash-style hasher ([`FxHashMap`]) for the
+//!   hot maps every fault probes — deterministic and ~an order of magnitude
+//!   cheaper than SipHash on the small integer keys used here.
 //!
 //! Everything is `std`-only and allocation-light; the hot paths (sampling a
-//! latency, advancing the clock) are O(1).
+//! latency, advancing the clock, hashing a key) are O(1).
 
 pub mod clock;
+pub mod hash;
 pub mod latency;
 pub mod rng;
 pub mod time;
 pub mod units;
 
 pub use clock::SimClock;
+pub use hash::{fx_map_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use latency::{
     ConstantLatency, EmpiricalLatency, LatencySampler, LogNormalLatency, MixtureLatency,
     NormalLatency, UniformLatency,

@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use leap_repro::leap::tracker::PageAccessTracker;
 use leap_repro::leap_mem::Pid;
 use leap_repro::leap_prefetcher::{
-    LeapConfig, LeapPrefetcher, PageAddr, Prefetcher, PrefetcherKind, INLINE_DECISION_PAGES,
+    IncrementalTrendDetector, LeapConfig, LeapPrefetcher, PageAddr, Prefetcher, PrefetcherKind,
+    INLINE_DECISION_PAGES,
 };
 
 /// Counts every allocation (and reallocation) made through the global
@@ -91,6 +92,39 @@ fn leap_prefetcher_steady_state_faults_do_not_allocate() {
     assert_eq!(
         allocs, 0,
         "Leap fault hot path performed {allocs} heap allocations over 8192 faults"
+    );
+}
+
+#[test]
+fn incremental_trend_detector_records_do_not_allocate() {
+    let _serial = serial_guard();
+    // The detector's per-tier count maps are pre-reserved to their maximum
+    // window population, so steady-state records — even a worst-case stream
+    // of all-distinct deltas churning every tier — stay off the heap.
+    let mut det = IncrementalTrendDetector::new(32, 4);
+    let mut addr = 0u64;
+    for i in 0..256u64 {
+        addr += i % 7 + 1;
+        det.record(PageAddr(addr));
+    }
+    let allocs = count_allocs(|| {
+        let mut gap = 1u64;
+        for i in 0..8_192u64 {
+            // Alternate a steady stride with distinct-delta bursts to slide
+            // majorities in and out of every tier.
+            if i % 64 < 48 {
+                addr += 3;
+            } else {
+                gap += i % 13 + 2;
+                addr += gap;
+            }
+            det.record(PageAddr(addr));
+            let _ = det.trend();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "incremental detector performed {allocs} heap allocations over 8192 records"
     );
 }
 

@@ -8,21 +8,24 @@
 //!
 //! ```text
 //! cargo run --release -p leap-bench --bin perf_harness -- [--quick] \
-//!     [--cores N] [--out PATH]
+//!     [--cores N] [--out PATH] [--trace LOG]...
 //! ```
 //!
-//! `--quick` shrinks the traces for CI smoke runs. The reported speedup is
-//! `serial wall-clock / threaded wall-clock`; it scales with the host's
-//! available cores (the simulated results are bit-identical either way).
+//! `--quick` shrinks the traces for CI smoke runs. `--trace LOG`
+//! (repeatable) adds a recorded fault log (perf-script or DAMON format,
+//! auto-detected — see `leap_workloads::ingest`) as an extra workload row,
+//! replayed through the same serial/threaded comparison. The reported
+//! speedup is `serial wall-clock / threaded wall-clock`; it scales with the
+//! host's available cores (the simulated results are bit-identical either
+//! way).
 
 use std::time::Instant;
 
 use leap::prelude::*;
 use leap::stage_timing::{self, StageBreakdown};
-use leap_bench::EXPERIMENT_SEED;
-use leap_sim_core::units::MIB;
+use leap_bench::{TraceSource, EXPERIMENT_SEED};
 use leap_sim_core::Nanos;
-use leap_workloads::{sequential_trace, stride_trace, AccessTrace};
+use leap_workloads::AccessTrace;
 
 /// One workload's measurements in one replay mode.
 struct ModeMeasurement {
@@ -39,7 +42,7 @@ struct ModeMeasurement {
 
 /// One workload's full row: both modes plus the derived speedup.
 struct WorkloadRow {
-    name: &'static str,
+    name: String,
     processes: usize,
     accesses: u64,
     serial: ModeMeasurement,
@@ -107,7 +110,7 @@ fn results_identical(a: &mut RunResult, b: &mut RunResult) -> bool {
 }
 
 fn run_workload(
-    name: &'static str,
+    name: String,
     traces: Vec<AccessTrace>,
     cores: usize,
     repeats: usize,
@@ -127,30 +130,6 @@ fn run_workload(
         threaded,
         identical,
     }
-}
-
-/// The Figure 11 application mix: all four paper applications side by side.
-fn app_mix(accesses: usize) -> Vec<AccessTrace> {
-    AppKind::ALL
-        .iter()
-        .map(|&kind| {
-            AppModel::new(kind, EXPERIMENT_SEED)
-                .with_working_set(8 * MIB)
-                .with_accesses(accesses)
-                .generate()
-        })
-        .collect()
-}
-
-/// A large synthetic set: four regular traces big enough that replay cost is
-/// dominated by the fault hot path.
-fn synthetic(accesses_per_proc: usize) -> Vec<AccessTrace> {
-    vec![
-        sequential_trace(16 * MIB, 1 + accesses_per_proc / 4096),
-        stride_trace(16 * MIB, 10, 1 + accesses_per_proc / 410),
-        sequential_trace(16 * MIB, 1 + accesses_per_proc / 4096),
-        stride_trace(16 * MIB, 7, 1 + accesses_per_proc / 586),
-    ]
 }
 
 /// Peak resident set size of this process in kB (`VmHWM` from
@@ -217,6 +196,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_replay.json".to_string());
+    let trace_logs: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--trace")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
 
     let (app_accesses, synth_accesses, repeats) = if quick {
         (10_000, 20_000, 2)
@@ -232,10 +217,30 @@ fn main() {
         if quick { " [quick]" } else { "" }
     );
 
-    let rows = vec![
-        run_workload("fig11-app-mix", app_mix(app_accesses), cores, repeats),
-        run_workload("synthetic-large", synthetic(synth_accesses), cores, repeats),
+    let mut sources = vec![
+        TraceSource::Fig11Mix {
+            accesses: app_accesses,
+        },
+        TraceSource::SyntheticLarge {
+            accesses_per_proc: synth_accesses,
+        },
     ];
+    sources.extend(
+        trace_logs
+            .iter()
+            .map(|p| TraceSource::FaultLog { path: p.into() }),
+    );
+
+    let rows: Vec<WorkloadRow> = sources
+        .iter()
+        .map(|source| {
+            let traces = source.load().unwrap_or_else(|e| {
+                eprintln!("failed to load {}: {e}", source.label());
+                std::process::exit(2);
+            });
+            run_workload(source.label(), traces, cores, repeats)
+        })
+        .collect();
 
     println!(
         "{:<16} {:>9} {:>12} {:>12} {:>14} {:>14} {:>8} {:>6}",

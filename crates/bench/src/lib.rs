@@ -16,6 +16,9 @@
 
 pub mod app_figures;
 pub mod micro_figures;
+pub mod trace_source;
+
+pub use trace_source::TraceSource;
 
 pub use app_figures::{
     fig03_pattern_windows, fig08b_slow_storage, fig09_prefetcher_cache,

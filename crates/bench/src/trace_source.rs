@@ -1,0 +1,114 @@
+//! [`TraceSource`]: where a benchmark workload's traces come from.
+//!
+//! The perf harness historically hard-coded two synthetic workloads; the
+//! trace-ingestion subsystem adds recorded fault logs as a third source.
+//! `TraceSource` names all three so harness rows, CLI flags
+//! (`perf_harness --trace PATH`), and examples resolve workloads the same
+//! way.
+
+use leap_sim_core::units::MIB;
+use leap_workloads::ingest::{ingest_path, IngestError};
+use leap_workloads::{sequential_trace, stride_trace, AccessTrace, AppKind, AppModel};
+use std::path::PathBuf;
+
+use crate::EXPERIMENT_SEED;
+
+/// A named source of multi-process benchmark traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSource {
+    /// The Figure 11 application mix: all four paper applications side by
+    /// side, `accesses` accesses each over 8 MiB working sets.
+    Fig11Mix {
+        /// Accesses per application trace.
+        accesses: usize,
+    },
+    /// Four large regular synthetic traces (sequential + strides) sized so
+    /// replay cost is dominated by the fault hot path.
+    SyntheticLarge {
+        /// Approximate accesses per process.
+        accesses_per_proc: usize,
+    },
+    /// A recorded fault log (perf-script page faults or DAMON region
+    /// samples, auto-detected), demultiplexed into one trace per pid.
+    FaultLog {
+        /// Path to the log file.
+        path: PathBuf,
+    },
+}
+
+impl TraceSource {
+    /// The workload-row label this source reports under.
+    pub fn label(&self) -> String {
+        match self {
+            TraceSource::Fig11Mix { .. } => "fig11-app-mix".to_string(),
+            TraceSource::SyntheticLarge { .. } => "synthetic-large".to_string(),
+            TraceSource::FaultLog { path } => {
+                let stem = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "log".to_string());
+                format!("ingested-{stem}")
+            }
+        }
+    }
+
+    /// Materializes the source's traces. Only [`TraceSource::FaultLog`] can
+    /// fail (I/O or a malformed log).
+    pub fn load(&self) -> Result<Vec<AccessTrace>, IngestError> {
+        match self {
+            TraceSource::Fig11Mix { accesses } => Ok(AppKind::ALL
+                .iter()
+                .map(|&kind| {
+                    AppModel::new(kind, EXPERIMENT_SEED)
+                        .with_working_set(8 * MIB)
+                        .with_accesses(*accesses)
+                        .generate()
+                })
+                .collect()),
+            TraceSource::SyntheticLarge { accesses_per_proc } => Ok(vec![
+                sequential_trace(16 * MIB, 1 + accesses_per_proc / 4096),
+                stride_trace(16 * MIB, 10, 1 + accesses_per_proc / 410),
+                sequential_trace(16 * MIB, 1 + accesses_per_proc / 4096),
+                stride_trace(16 * MIB, 7, 1 + accesses_per_proc / 586),
+            ]),
+            TraceSource::FaultLog { path } => Ok(ingest_path(path)?.into_traces()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_sources_load_and_label() {
+        let mix = TraceSource::Fig11Mix { accesses: 500 };
+        assert_eq!(mix.label(), "fig11-app-mix");
+        assert_eq!(mix.load().unwrap().len(), AppKind::ALL.len());
+
+        let synth = TraceSource::SyntheticLarge {
+            accesses_per_proc: 1_000,
+        };
+        assert_eq!(synth.label(), "synthetic-large");
+        assert_eq!(synth.load().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn fault_log_source_ingests_the_committed_fixture() {
+        let path =
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/perf_faults.log");
+        let source = TraceSource::FaultLog { path };
+        assert_eq!(source.label(), "ingested-perf_faults");
+        let traces = source.load().expect("fixture ingests");
+        assert!(!traces.is_empty());
+        assert!(traces.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn missing_fault_log_is_a_typed_error() {
+        let source = TraceSource::FaultLog {
+            path: PathBuf::from("/nonexistent/faults.log"),
+        };
+        assert!(matches!(source.load(), Err(IngestError::Io(_))));
+    }
+}

@@ -54,6 +54,10 @@ pub(crate) struct EngineCore {
     core_cursor: usize,
     active_core: usize,
     scheduled: bool,
+    /// Whole-cache page budget on top of the per-shard capacities (the VFS
+    /// front-end's local file-cache limit). `None` — the VMM's setting —
+    /// skips the budget check entirely on the hot path.
+    cache_budget: Option<u64>,
     /// Reusable scratch for span-batched prefetch admission (slots admitted
     /// this span), so the fault hot path never allocates for it.
     span_scratch: Vec<SwapSlot>,
@@ -84,6 +88,7 @@ impl EngineCore {
             core_cursor: 0,
             active_core: 0,
             scheduled: false,
+            cache_budget: None,
             span_scratch: Vec::new(),
             owner_scratch: Vec::new(),
             present_scratch: Vec::new(),
@@ -129,6 +134,7 @@ impl EngineCore {
             core_cursor: 0,
             active_core: core,
             scheduled: true,
+            cache_budget: self.cache_budget,
             span_scratch: Vec::new(),
             owner_scratch: Vec::new(),
             present_scratch: Vec::new(),
@@ -304,10 +310,34 @@ impl EngineCore {
         })
     }
 
+    /// Caps the whole cache at `pages` on top of the per-shard capacities
+    /// (the VFS front-end's file-cache budget; `u64::MAX` lifts the cap).
+    pub fn set_cache_budget(&mut self, pages: u64) {
+        self.cache_budget = (pages != u64::MAX).then_some(pages);
+    }
+
+    /// True when the configured whole-cache budget is exhausted.
+    fn over_budget(&self) -> bool {
+        match self.cache_budget {
+            Some(budget) => self.cache.len() >= budget,
+            None => false,
+        }
+    }
+
+    /// True when `extra` more pages fit under the whole-cache budget (so a
+    /// batched span insert cannot trip it mid-span).
+    fn budget_fits(&self, extra: u64) -> bool {
+        match self.cache_budget {
+            Some(budget) => self.cache.len() + extra <= budget,
+            None => true,
+        }
+    }
+
     /// Makes room in an already-routed cache shard (the span-batched
-    /// admission path routes once per span, not once per page).
+    /// admission path routes once per span, not once per page), honouring
+    /// both the shard's capacity and the whole-cache budget.
     pub fn make_cache_space_at(&mut self, shard: usize) -> bool {
-        if !self.cache.shard(shard).is_full() {
+        if !self.cache.shard(shard).is_full() && !self.over_budget() {
             return true;
         }
         self.force_evict(shard)
@@ -332,7 +362,9 @@ impl EngineCore {
         }
         let span_shard = self.cache.span_shard(slots);
         if let Some(shard) = span_shard {
-            if self.cache.shard(shard).free_pages() >= slots.len() as u64 {
+            if self.cache.shard(shard).free_pages() >= slots.len() as u64
+                && self.budget_fits(slots.len() as u64)
+            {
                 return self.admit_span_batched(shard, slots, owners);
             }
         }
@@ -434,7 +466,11 @@ impl EngineCore {
 
     /// Inserts a prefetched page into its cache shard (the transfer itself
     /// has already been issued over the data path) and updates every
-    /// counter. Returns `true` if the insert took place.
+    /// counter. Returns `true` if the insert took place. Kept test-only:
+    /// both front-ends admit prefetches through
+    /// [`EngineCore::admit_prefetch_span`] now; the per-candidate reference
+    /// paths the equivalence tests replay still sequence through this.
+    #[cfg(test)]
     pub fn insert_prefetched(&mut self, slot: SwapSlot, owner: Pid) -> bool {
         let now = self.clock.now();
         if stage_timing::time(Stage::Cache, || {
@@ -519,6 +555,7 @@ impl EngineCore {
             core: self.active_core,
             page: access.page,
             is_write: access.is_write,
+            compute: access.compute,
             outcome,
             latency,
             completed_at: self.clock.now(),

@@ -70,6 +70,7 @@ pub mod config;
 mod engine;
 pub mod error;
 pub mod parallel;
+pub mod recorder;
 pub mod result;
 pub mod sched;
 pub mod session;
@@ -84,6 +85,7 @@ pub use components::{
 };
 pub use config::{DataPathKind, EvictionPolicy, ReplayMode, SimConfig};
 pub use error::ConfigError;
+pub use recorder::TraceRecorder;
 pub use result::RunResult;
 pub use sched::{CoreScheduler, ScheduledSlot};
 pub use session::{
@@ -102,6 +104,7 @@ pub mod prelude {
     };
     pub use crate::config::{DataPathKind, EvictionPolicy, ReplayMode, SimConfig};
     pub use crate::error::ConfigError;
+    pub use crate::recorder::TraceRecorder;
     pub use crate::result::RunResult;
     pub use crate::sched::CoreScheduler;
     pub use crate::session::{

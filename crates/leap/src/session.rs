@@ -74,6 +74,11 @@ pub struct FaultEvent {
     pub page: u64,
     /// Whether the access was a write.
     pub is_write: bool,
+    /// The access's compute (application think) time — copied from
+    /// [`leap_workloads::Access::compute`] so stream consumers like
+    /// [`crate::TraceRecorder`] can reconstruct application-time clocks
+    /// without the replayed trace at hand.
+    pub compute: Nanos,
     /// How the access was served.
     pub outcome: AccessOutcome,
     /// Latency charged to the access (what the latency histograms record).

@@ -46,7 +46,17 @@ const BUFFERED_WRITE: Nanos = Nanos(900);
 #[derive(Debug)]
 pub struct VfsSimulator {
     engine: EngineCore,
-    cache_budget: MemoryLimit,
+    /// Reusable span scratch (prefetch candidates as swap slots), so reads
+    /// never allocate for admission.
+    span_slots: Vec<SwapSlot>,
+    /// Owner pids running parallel to `span_slots` (all the reading pid:
+    /// the VFS caches file pages for whoever read them).
+    span_pids: Vec<Pid>,
+    /// Replays prefetch admission per candidate instead of per span — the
+    /// historical sequencing kept as the reference the span-equivalence
+    /// test pins the new path against.
+    #[cfg(test)]
+    per_candidate_reference: bool,
 }
 
 impl VfsSimulator {
@@ -67,7 +77,10 @@ impl VfsSimulator {
     pub fn from_setup(setup: &SimSetup) -> Self {
         VfsSimulator {
             engine: EngineCore::new(setup, 0xF5),
-            cache_budget: MemoryLimit::from_pages(u64::MAX / 2),
+            span_slots: Vec::new(),
+            span_pids: Vec::new(),
+            #[cfg(test)]
+            per_candidate_reference: false,
         }
     }
 
@@ -107,8 +120,38 @@ impl VfsSimulator {
         self.ensure_cache_room(slot);
         self.engine.insert_demand(slot, pid);
 
-        // Prefetch neighbouring file pages.
+        // Prefetch neighbouring file pages, admitted span-at-a-time: the
+        // engine probes presence, makes room (under the file-cache budget —
+        // `EngineCore::make_cache_space_at` is budget-aware), issues the
+        // reads, and inserts, batching the bookkeeping whenever the whole
+        // span fits without eviction.
         let decision = self.engine.prefetch_decision(pid, PageAddr(page));
+        #[cfg(test)]
+        if self.per_candidate_reference {
+            let issued = self.admit_per_candidate(pid, &decision);
+            return (latency, AccessOutcome::RemoteFetch, issued);
+        }
+        self.span_slots.clear();
+        self.span_slots
+            .extend(decision.iter().map(|c| SwapSlot(c.0)));
+        self.span_pids.clear();
+        self.span_pids.resize(self.span_slots.len(), pid);
+        let issued = self
+            .engine
+            .admit_prefetch_span(&self.span_slots, &self.span_pids);
+        (latency, AccessOutcome::RemoteFetch, issued)
+    }
+
+    /// The historical per-candidate admission loop (probe, make room, read,
+    /// insert — one page at a time). Kept only as the reference the
+    /// `span_admission_matches_per_candidate_reference` test replays against
+    /// the span-batched path.
+    #[cfg(test)]
+    fn admit_per_candidate(
+        &mut self,
+        pid: Pid,
+        decision: &leap_prefetcher::PrefetchDecision,
+    ) -> u32 {
         let mut issued = 0u32;
         for candidate in decision.iter() {
             let cslot = SwapSlot(candidate.0);
@@ -121,18 +164,15 @@ impl VfsSimulator {
                 issued += 1;
             }
         }
-        (latency, AccessOutcome::RemoteFetch, issued)
+        issued
     }
 
-    /// Frees cache space for `slot` when the local budget or the configured
-    /// prefetch cache capacity is exhausted.
+    /// Frees cache space for `slot` when the local file-cache budget or the
+    /// configured prefetch cache capacity is exhausted (both live in the
+    /// engine; see [`EngineCore::make_cache_space_at`]).
     fn ensure_cache_room(&mut self, slot: SwapSlot) {
-        let over_budget = self.engine.cache.len() >= self.cache_budget.limit_pages();
-        if !self.engine.cache.is_full_for(slot) && !over_budget {
-            return;
-        }
         let shard = self.engine.cache.shard_of(slot);
-        self.engine.force_evict(shard);
+        self.engine.make_cache_space_at(shard);
     }
 }
 
@@ -149,8 +189,9 @@ impl Simulator for VfsSimulator {
         // The local VFS cache is limited to `memory_fraction` of the total
         // working set, matching how the paper constrains the VMM experiments.
         let total_ws: u64 = traces.iter().map(|t| t.working_set_pages()).sum();
-        self.cache_budget =
+        let budget =
             MemoryLimit::fraction_of(total_ws * PAGE_SIZE, self.engine.config.memory_fraction);
+        self.engine.set_cache_budget(budget.limit_pages());
         self.engine
             .stamp_run(format!("vfs-{}", EngineCore::workload_name(traces)));
     }
@@ -282,6 +323,95 @@ mod tests {
         let b = VfsSimulator::new(config).run(&trace);
         assert_eq!(a.completion_time, b.completion_time);
         assert_eq!(a.cache_stats, b.cache_stats);
+    }
+
+    /// The span-batched prefetch admission must be observably identical to
+    /// the historical per-candidate loop: every counter, every latency
+    /// distribution, across budgets and eviction pressure.
+    #[test]
+    fn span_admission_matches_per_candidate_reference() {
+        use leap_sim_core::units::KIB;
+        use leap_workloads::{AppKind, AppModel};
+
+        let mut workloads = vec![
+            stride_trace(4 * MIB, 10, 1),
+            sequential_trace(4 * MIB, 2),
+            AppModel::new(AppKind::PowerGraph, 17)
+                .with_working_set(2 * MIB)
+                .with_accesses(3_000)
+                .generate(),
+        ];
+        // A write-heavy mix exercises the buffered-write room-making too.
+        let mut mixed: Vec<Access> = (0..256u64).map(|p| Access::write(p, Nanos::ZERO)).collect();
+        mixed.extend((0..512u64).map(|p| Access::read(p, Nanos::from_nanos(120))));
+        workloads.push(AccessTrace::new("mixed", mixed));
+
+        let configs = vec![
+            SimConfig::leap_defaults(),
+            SimConfig::linux_defaults(),
+            leap_at(0.25),
+            leap_at(1.0),
+            // A tightly bounded prefetch cache forces the careful
+            // (eviction-interleaved) admission path.
+            SimConfig::builder()
+                .memory_fraction(0.5)
+                .prefetch_cache_pages(32)
+                .build()
+                .unwrap(),
+            SimConfig::builder()
+                .eviction(EvictionPolicy::Lazy)
+                .memory_fraction(0.5)
+                .build()
+                .unwrap(),
+            // A tiny working-set fraction keeps the budget, not the shard
+            // capacity, the binding constraint.
+            SimConfig::builder()
+                .memory_fraction(0.5)
+                .prefetch_cache_pages(16 * KIB)
+                .build()
+                .unwrap(),
+        ];
+
+        for trace in &workloads {
+            for config in &configs {
+                let mut span = VfsSimulator::new(*config).run(trace);
+                let mut reference = {
+                    let mut sim = VfsSimulator::new(*config);
+                    sim.per_candidate_reference = true;
+                    sim.run(trace)
+                };
+                assert_eq!(
+                    span.completion_time,
+                    reference.completion_time,
+                    "completion diverged: {} under {}",
+                    trace.name(),
+                    config.label()
+                );
+                assert_eq!(span.total_accesses, reference.total_accesses);
+                assert_eq!(span.remote_accesses, reference.remote_accesses);
+                assert_eq!(span.cache_stats, reference.cache_stats);
+                assert_eq!(
+                    span.prefetch_stats.pages_prefetched(),
+                    reference.prefetch_stats.pages_prefetched()
+                );
+                assert_eq!(
+                    span.prefetch_stats.prefetch_hits(),
+                    reference.prefetch_stats.prefetch_hits()
+                );
+                assert_eq!(
+                    span.access_latency.sorted_samples(),
+                    reference.access_latency.sorted_samples()
+                );
+                assert_eq!(
+                    span.remote_access_latency.sorted_samples(),
+                    reference.remote_access_latency.sorted_samples()
+                );
+                assert_eq!(
+                    span.eviction_wait.sorted_samples(),
+                    reference.eviction_wait.sorted_samples()
+                );
+            }
+        }
     }
 
     #[test]

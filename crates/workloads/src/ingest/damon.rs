@@ -1,0 +1,170 @@
+//! The DAMON-style region-sample grammar.
+//!
+//! DAMON (the kernel's Data Access MONitor) reports access frequencies at
+//! *region* granularity: every aggregation interval it emits, per monitored
+//! region, how many of the interval's samples found the region accessed.
+//! This module ingests a line-oriented rendering of those samples (one
+//! region sample per line — `damo report raw` output converts to it with a
+//! one-line awk script):
+//!
+//! ```text
+//! sample-line := time WS pid WS start "-" end WS nr_accesses [WS ...]
+//! time        := secs [ "." frac ]   frac: 1..=9 digits (ns precision)
+//! pid         := decimal u32 (DAMON's target)
+//! start, end  := [ "0x" ] hex-u64 byte addresses, end > start (exclusive)
+//! nr_accesses := decimal u64 (0 = the region was idle this interval)
+//! ```
+//!
+//! **Expansion rule** (deterministic, documented in ARCHITECTURE.md): a
+//! sample with `n = nr_accesses > 0` becomes `n` read accesses striding
+//! evenly across the region's pages — access `j` touches page
+//! `floor(start / 4096) + floor(j * region_pages / n)` — and the sample's
+//! interval (this line's timestamp minus the pid's previous sample, or the
+//! log base) is split evenly over the `n` accesses, remainder on the first.
+//! An idle sample (`n = 0`) produces no accesses but still advances the
+//! pid's clock, so idle time becomes the next sample's think time. Samples
+//! denser than [`super::MAX_REGION_ACCESSES`] are rejected rather than
+//! expanded.
+//!
+//! Region samples are inherently lossy (the exact fault order inside an
+//! interval is gone), so DAMON logs do not round-trip through
+//! `leap::TraceRecorder` — that is the perf format's job; this one exists
+//! to replay the logs DAMON deployments already have.
+
+use super::{parse_hex_addr, parse_time, region_pages, Demux, IngestError, LogFormat};
+use leap_sim_core::units::PAGE_SHIFT;
+
+/// Parses one region-sample line into the demultiplexer.
+pub(crate) fn parse_line(line_no: u64, line: &str, demux: &mut Demux) -> Result<(), IngestError> {
+    let mut tokens = line.split_whitespace();
+    let (Some(time_tok), Some(pid_tok), Some(range_tok), Some(nr_tok)) =
+        (tokens.next(), tokens.next(), tokens.next(), tokens.next())
+    else {
+        return Err(IngestError::TruncatedLine {
+            line: line_no,
+            format: LogFormat::DamonRegions,
+        });
+    };
+
+    let t_ns = parse_time(line_no, time_tok)?;
+    let pid: u32 = pid_tok.parse().map_err(|_| IngestError::BadField {
+        line: line_no,
+        field: "pid",
+    })?;
+
+    let (start_tok, end_tok) = range_tok.split_once('-').ok_or(IngestError::BadField {
+        line: line_no,
+        field: "region",
+    })?;
+    let start = parse_hex_addr(line_no, start_tok, "region")?;
+    let end = parse_hex_addr(line_no, end_tok, "region")?;
+    if end <= start {
+        return Err(IngestError::EmptyRegion { line: line_no });
+    }
+
+    let nr_accesses: u64 = nr_tok.parse().map_err(|_| IngestError::BadField {
+        line: line_no,
+        field: "nr_accesses",
+    })?;
+    if nr_accesses > super::MAX_REGION_ACCESSES {
+        return Err(IngestError::RegionTooDense {
+            line: line_no,
+            nr_accesses,
+        });
+    }
+
+    demux.push_region(
+        line_no,
+        t_ns,
+        pid,
+        start >> PAGE_SHIFT,
+        region_pages(start, end),
+        nr_accesses,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ingest_str, IngestedLog, LogFormat};
+    use super::*;
+
+    fn damon(log: &str) -> Result<IngestedLog, IngestError> {
+        ingest_str(log, LogFormat::DamonRegions)
+    }
+
+    #[test]
+    fn expands_a_sample_across_its_region() {
+        // 4 pages, 4 accesses over a 1 ms interval: one access per page,
+        // 250 µs of think time each.
+        let log = "\
+# t0: 0.000000000
+0.001000000 42 0x10000-0x14000 4
+";
+        let ingested = damon(log).unwrap();
+        assert_eq!(ingested.pids(), &[42]);
+        let trace = &ingested.traces()[0];
+        assert_eq!(trace.name(), "pid42");
+        assert_eq!(trace.page_sequence(), vec![0x10, 0x11, 0x12, 0x13]);
+        for access in trace.accesses() {
+            assert_eq!(access.compute.as_nanos(), 250_000);
+            assert!(!access.is_write);
+        }
+    }
+
+    #[test]
+    fn denser_samples_revisit_pages() {
+        // 2 pages, 4 accesses: the stride revisits each page twice.
+        let ingested = damon("0.000004000 1 0x0-0x2000 4\n").unwrap();
+        assert_eq!(ingested.traces()[0].page_sequence(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn sparser_samples_stride_over_pages() {
+        // 8 pages, 2 accesses: pages 0 and 4.
+        let ingested = damon("0.000004000 1 0x0-0x8000 2\n").unwrap();
+        assert_eq!(ingested.traces()[0].page_sequence(), vec![0, 4]);
+    }
+
+    #[test]
+    fn interval_remainder_lands_on_the_first_access() {
+        // 10 ns over 3 accesses: 4 + 3 + 3.
+        let log = "\
+# t0: 0.000000000
+0.000000010 1 0x0-0x3000 3
+";
+        let ingested = damon(log).unwrap();
+        let computes: Vec<u64> = ingested.traces()[0]
+            .accesses()
+            .iter()
+            .map(|a| a.compute.as_nanos())
+            .collect();
+        assert_eq!(computes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn idle_samples_advance_the_clock_without_accesses() {
+        let log = "\
+# t0: 0.000000000
+0.000001000 1 0x0-0x1000 0
+0.000003000 1 0x0-0x1000 1
+";
+        let ingested = damon(log).unwrap();
+        let trace = &ingested.traces()[0];
+        assert_eq!(trace.len(), 1);
+        // The idle interval became think time for the next sample's access.
+        assert_eq!(trace.accesses()[0].compute.as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn multi_pid_samples_demux_by_target() {
+        let log = "\
+0.000001000 7 0x0-0x1000 1
+0.000002000 3 0x10000-0x11000 1
+0.000003000 7 0x1000-0x2000 1
+";
+        let ingested = damon(log).unwrap();
+        assert_eq!(ingested.pids(), &[3, 7]);
+        assert_eq!(ingested.traces()[0].page_sequence(), vec![0x10]);
+        assert_eq!(ingested.traces()[1].page_sequence(), vec![0, 1]);
+    }
+}

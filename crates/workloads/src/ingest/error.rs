@@ -1,0 +1,146 @@
+//! Typed errors of the trace-ingestion subsystem.
+//!
+//! Every parse failure carries the 1-based line number of the offending log
+//! line, so a multi-GB log can be fixed (or truncated) without bisecting it
+//! by hand. Ingestion never panics on malformed input — every failure mode
+//! below is a value, pinned by `tests/ingest_errors.rs`.
+
+use super::LogFormat;
+use std::fmt;
+
+/// Why a fault log could not be ingested.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The log contains no access-producing lines (only blanks, comments,
+    /// or zero-access region samples).
+    EmptyLog,
+    /// Format auto-detection failed: the first event line matches neither
+    /// grammar.
+    UnknownFormat {
+        /// 1-based line number of the undetectable line.
+        line: u64,
+    },
+    /// An event line ended before all mandatory fields of its format.
+    TruncatedLine {
+        /// 1-based line number of the truncated line.
+        line: u64,
+        /// The format whose grammar the line failed.
+        format: LogFormat,
+    },
+    /// A field did not parse as its grammar requires (non-numeric pid,
+    /// malformed `[cpu]` token, broken region range, ...).
+    BadField {
+        /// 1-based line number of the malformed line.
+        line: u64,
+        /// Name of the field that failed to parse.
+        field: &'static str,
+    },
+    /// A hexadecimal address does not fit in 64 bits.
+    AddressOverflow {
+        /// 1-based line number of the overflowing line.
+        line: u64,
+    },
+    /// A timestamp does not fit the u64 nanosecond clock.
+    TimestampOverflow {
+        /// 1-based line number of the overflowing line.
+        line: u64,
+    },
+    /// A timestamp is earlier than its predecessor (or earlier than the
+    /// `# t0:` base). Fault logs are recorded in time order; going backwards
+    /// means the log is corrupt or mis-merged.
+    OutOfOrderTimestamp {
+        /// 1-based line number of the out-of-order line.
+        line: u64,
+    },
+    /// A DAMON region sample whose end address is not past its start.
+    EmptyRegion {
+        /// 1-based line number of the degenerate region.
+        line: u64,
+    },
+    /// A DAMON region sample claims more accesses than the per-line
+    /// expansion cap ([`super::MAX_REGION_ACCESSES`]) allows.
+    RegionTooDense {
+        /// 1-based line number of the over-dense sample.
+        line: u64,
+        /// The claimed access count.
+        nr_accesses: u64,
+    },
+}
+
+impl IngestError {
+    /// The 1-based line number the error points at, when it has one.
+    pub fn line(&self) -> Option<u64> {
+        match self {
+            IngestError::Io(_) | IngestError::EmptyLog => None,
+            IngestError::UnknownFormat { line }
+            | IngestError::TruncatedLine { line, .. }
+            | IngestError::BadField { line, .. }
+            | IngestError::AddressOverflow { line }
+            | IngestError::TimestampOverflow { line }
+            | IngestError::OutOfOrderTimestamp { line }
+            | IngestError::EmptyRegion { line }
+            | IngestError::RegionTooDense { line, .. } => Some(*line),
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "i/o error reading fault log: {e}"),
+            IngestError::EmptyLog => write!(f, "fault log contains no accesses"),
+            IngestError::UnknownFormat { line } => {
+                write!(
+                    f,
+                    "line {line}: matches neither the damon nor the perf grammar"
+                )
+            }
+            IngestError::TruncatedLine { line, format } => {
+                write!(f, "line {line}: truncated {} event line", format.label())
+            }
+            IngestError::BadField { line, field } => {
+                write!(f, "line {line}: malformed `{field}` field")
+            }
+            IngestError::AddressOverflow { line } => {
+                write!(f, "line {line}: address does not fit in 64 bits")
+            }
+            IngestError::TimestampOverflow { line } => {
+                write!(
+                    f,
+                    "line {line}: timestamp overflows the u64 nanosecond clock"
+                )
+            }
+            IngestError::OutOfOrderTimestamp { line } => {
+                write!(f, "line {line}: timestamp goes backwards")
+            }
+            IngestError::EmptyRegion { line } => {
+                write!(f, "line {line}: region end address is not past its start")
+            }
+            IngestError::RegionTooDense { line, nr_accesses } => {
+                write!(
+                    f,
+                    "line {line}: region sample claims {nr_accesses} accesses \
+                     (cap {})",
+                    super::MAX_REGION_ACCESSES
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}

@@ -1,0 +1,137 @@
+//! The perf-script page-fault grammar (the canonical fault-log format).
+//!
+//! One page fault per line, in the shape `perf script -F
+//! comm,pid,cpu,time,event,addr` emits (and `leap::TraceRecorder` exports):
+//!
+//! ```text
+//! event-line := comm WS pid WS "[" cpu "]" WS time ":" WS event ":" WS addr [WS rw] [WS ...]
+//! comm       := non-whitespace token (the process name)
+//! pid        := decimal u32
+//! cpu        := decimal (parsed, not interpreted — demux is by pid)
+//! time       := secs [ "." frac ]     frac: 1..=9 digits (ns precision)
+//! event      := non-whitespace token ending in ":" (name not interpreted)
+//! addr       := [ "addr=" ] [ "0x" ] hex-u64 (a byte address)
+//! rw         := "R" | "W"             (defaults to R when absent)
+//! ```
+//!
+//! Anything after the `rw` token (instruction pointers, symbols, DSOs —
+//! the fields a default `perf script` appends) is ignored. Blank lines and
+//! `#` comments are skipped by the shared driver; a `# t0: <time>` comment
+//! before the first event sets the base timestamp the first per-pid compute
+//! gap is measured from.
+
+use super::{addr_to_page, parse_hex_addr, parse_time, Demux, IngestError, LogFormat};
+
+/// Parses one perf event line into the demultiplexer.
+pub(crate) fn parse_line(line_no: u64, line: &str, demux: &mut Demux) -> Result<(), IngestError> {
+    let mut tokens = line.split_whitespace();
+    let (Some(comm), Some(pid_tok), Some(cpu_tok), Some(time_tok), Some(event_tok), Some(addr_tok)) = (
+        tokens.next(),
+        tokens.next(),
+        tokens.next(),
+        tokens.next(),
+        tokens.next(),
+        tokens.next(),
+    ) else {
+        return Err(IngestError::TruncatedLine {
+            line: line_no,
+            format: LogFormat::PerfScript,
+        });
+    };
+
+    let pid: u32 = pid_tok.parse().map_err(|_| IngestError::BadField {
+        line: line_no,
+        field: "pid",
+    })?;
+
+    let cpu_digits = cpu_tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or(IngestError::BadField {
+            line: line_no,
+            field: "cpu",
+        })?;
+    let _cpu: usize = cpu_digits.parse().map_err(|_| IngestError::BadField {
+        line: line_no,
+        field: "cpu",
+    })?;
+
+    let time_digits = time_tok.strip_suffix(':').ok_or(IngestError::BadField {
+        line: line_no,
+        field: "time",
+    })?;
+    let t_ns = parse_time(line_no, time_digits)?;
+
+    if !event_tok.ends_with(':') {
+        return Err(IngestError::BadField {
+            line: line_no,
+            field: "event",
+        });
+    }
+
+    let addr_digits = addr_tok.strip_prefix("addr=").unwrap_or(addr_tok);
+    let addr = parse_hex_addr(line_no, addr_digits, "addr")?;
+
+    let is_write = matches!(tokens.next(), Some("W"));
+
+    demux.push_fault(line_no, t_ns, pid, comm, addr_to_page(addr), is_write)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ingest_str, IngestError, LogFormat};
+
+    fn perf(log: &str) -> Result<super::super::IngestedLog, IngestError> {
+        ingest_str(log, LogFormat::PerfScript)
+    }
+
+    #[test]
+    fn parses_a_realistic_line() {
+        let ingested =
+            perf("memcached 5124 [002] 1748.230451: page-faults: addr=0x7f8a2c01d000 R\n").unwrap();
+        assert_eq!(ingested.pids(), &[5124]);
+        assert_eq!(ingested.traces()[0].page_sequence(), vec![0x7f8a2c01d]);
+        assert!(!ingested.traces()[0].accesses()[0].is_write);
+    }
+
+    #[test]
+    fn bare_hex_addresses_and_missing_rw_are_accepted() {
+        let ingested =
+            perf("app 1 [000] 0.000001000: minor-faults: 7f8a2c01d000 extra junk\n").unwrap();
+        assert_eq!(ingested.traces()[0].page_sequence(), vec![0x7f8a2c01d]);
+        assert!(!ingested.traces()[0].accesses()[0].is_write);
+    }
+
+    #[test]
+    fn write_marker_is_parsed() {
+        let ingested = perf("app 1 [000] 0.000001000: page-faults: addr=0x1000 W\n").unwrap();
+        assert!(ingested.traces()[0].accesses()[0].is_write);
+    }
+
+    #[test]
+    fn non_page_aligned_addresses_floor_to_their_page() {
+        let ingested = perf("app 1 [000] 0.5: page-faults: addr=0x1fff\n").unwrap();
+        assert_eq!(ingested.traces()[0].page_sequence(), vec![1]);
+    }
+
+    #[test]
+    fn demux_preserves_per_pid_order_and_gaps() {
+        let log = "\
+# t0: 10.000000000
+a 1 [000] 10.000001000: page-faults: addr=0x1000
+b 2 [001] 10.000002000: page-faults: addr=0x8000
+a 1 [000] 10.000005000: page-faults: addr=0x2000
+b 2 [001] 10.000005000: page-faults: addr=0x9000
+";
+        let ingested = perf(log).unwrap();
+        let a = &ingested.traces()[0];
+        let b = &ingested.traces()[1];
+        assert_eq!(a.page_sequence(), vec![1, 2]);
+        assert_eq!(b.page_sequence(), vec![8, 9]);
+        // a: 1 µs from base, then a 4 µs gap; b: 2 µs from base, then 3 µs.
+        assert_eq!(a.accesses()[0].compute.as_nanos(), 1_000);
+        assert_eq!(a.accesses()[1].compute.as_nanos(), 4_000);
+        assert_eq!(b.accesses()[0].compute.as_nanos(), 2_000);
+        assert_eq!(b.accesses()[1].compute.as_nanos(), 3_000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Replay a recorded fault log (perf-script page faults or DAMON region
+//! samples) through the simulator, then export the run back out and verify
+//! the round trip.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example replay_fault_log [-- PATH]
+//! ```
+//!
+//! Without a path it replays the committed fixture
+//! `tests/fixtures/perf_faults.log`. The format is auto-detected; see
+//! ARCHITECTURE.md "Trace ingestion" for both grammars.
+
+use leap_repro::leap_metrics::TextTable;
+use leap_repro::leap_workloads::ingest::{ingest_path, ingest_str, LogFormat};
+use leap_repro::prelude::*;
+use std::path::PathBuf;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/perf_faults.log")
+        });
+
+    let ingested = match ingest_path(&path) {
+        Ok(ingested) => ingested,
+        Err(e) => {
+            eprintln!("cannot ingest {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{}: {} format, {} process(es), {} accesses from {} event line(s)",
+        path.display(),
+        ingested.format().label(),
+        ingested.processes(),
+        ingested.total_accesses(),
+        ingested.event_lines(),
+    );
+    for (pid, trace) in ingested.pids().iter().zip(ingested.traces()) {
+        println!(
+            "  pid {pid} ({}): {} accesses over {} distinct pages, {:.3} ms think time",
+            trace.name(),
+            trace.len(),
+            trace.working_set_pages(),
+            trace.total_compute().as_millis_f64(),
+        );
+    }
+
+    // Replay the demuxed processes through both canonical configurations,
+    // time-shared over two cores at 50 % local memory.
+    let traces = ingested.traces().to_vec();
+    let build = |config: SimConfig| {
+        VmmSimulator::new(
+            config
+                .to_builder()
+                .memory_fraction(0.5)
+                .cores(2)
+                .seed(7)
+                .build()
+                .expect("valid replay config"),
+        )
+    };
+
+    let mut table = TextTable::new(vec![
+        "configuration",
+        "median remote (us)",
+        "p99 remote (us)",
+        "cache hit",
+        "completion (ms)",
+    ]);
+    let mut leap_result = None;
+    for (label, config) in [
+        ("D-VMM (linux)", SimConfig::linux_defaults()),
+        ("D-VMM + Leap", SimConfig::leap_defaults()),
+    ] {
+        let mut result = build(config).run_multi(&traces);
+        table.add_row(vec![
+            label.to_string(),
+            format!("{:.2}", result.median_remote_latency().as_micros_f64()),
+            format!("{:.2}", result.p99_remote_latency().as_micros_f64()),
+            format!("{:.1}%", 100.0 * result.cache_hit_ratio()),
+            format!("{:.3}", result.completion_time.as_millis_f64()),
+        ]);
+        if label.contains("Leap") {
+            leap_result = Some(result);
+        }
+    }
+    println!("\n{}", table.render());
+    let _ = leap_result;
+
+    // The inverse direction: record the Leap replay and re-ingest it. The
+    // recorded log is the canonical perf format, so ingesting it gives the
+    // replayed traces back bit-identically.
+    let mut recorder = TraceRecorder::for_traces(&traces);
+    build(SimConfig::leap_defaults())
+        .session()
+        .observe(&mut recorder)
+        .run_multi(&traces);
+    let exported = recorder.to_log();
+    let reingested = ingest_str(&exported, LogFormat::PerfScript).expect("recorded log ingests");
+    assert_eq!(
+        reingested.traces(),
+        &traces[..],
+        "round trip must reproduce the replayed traces"
+    );
+    println!(
+        "round trip OK: recorded {} events, re-ingested {} traces bit-identically",
+        recorder.events(),
+        reingested.processes(),
+    );
+}

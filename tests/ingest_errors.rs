@@ -1,0 +1,236 @@
+//! Malformed-input coverage for the trace-ingestion subsystem: every broken
+//! log produces a *typed* `IngestError` pointing at the offending line —
+//! never a panic (note: no `#[should_panic]` anywhere in this file).
+
+use leap_repro::leap_workloads::ingest::{
+    ingest_path, ingest_str, IngestError, LogFormat, MAX_REGION_ACCESSES,
+};
+
+fn perf(log: &str) -> Result<(), IngestError> {
+    ingest_str(log, LogFormat::PerfScript).map(|_| ())
+}
+
+fn damon(log: &str) -> Result<(), IngestError> {
+    ingest_str(log, LogFormat::DamonRegions).map(|_| ())
+}
+
+const VALID_PERF: &str = "app 7 [000] 1.000001000: page-faults: addr=0x7f0000001000 R\n";
+const VALID_DAMON: &str = "1.000000000 7 0x10000-0x14000 2\n";
+
+#[test]
+fn empty_and_comment_only_logs_are_typed_errors() {
+    assert!(matches!(perf(""), Err(IngestError::EmptyLog)));
+    assert!(matches!(
+        perf("# only a comment\n\n# another\n"),
+        Err(IngestError::EmptyLog)
+    ));
+    assert!(matches!(damon(""), Err(IngestError::EmptyLog)));
+    // A log whose only samples are idle regions has no accesses either.
+    assert!(matches!(
+        damon("1.0 7 0x0-0x1000 0\n2.0 7 0x0-0x1000 0\n"),
+        Err(IngestError::EmptyLog)
+    ));
+}
+
+#[test]
+fn truncated_perf_lines_name_their_line() {
+    // Each prefix of a valid line that is missing mandatory fields.
+    for truncated in [
+        "app",
+        "app 7",
+        "app 7 [000]",
+        "app 7 [000] 1.000001000:",
+        "app 7 [000] 1.000001000: page-faults:",
+    ] {
+        let log = format!("{VALID_PERF}{truncated}\n");
+        match perf(&log) {
+            Err(IngestError::TruncatedLine { line: 2, format }) => {
+                assert_eq!(format, LogFormat::PerfScript)
+            }
+            other => panic!("{truncated:?}: expected TruncatedLine, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_damon_lines_name_their_line() {
+    for truncated in ["1.0", "1.0 7", "1.0 7 0x0-0x1000"] {
+        let log = format!("{VALID_DAMON}{truncated}\n");
+        match damon(&log) {
+            Err(IngestError::TruncatedLine { line: 2, format }) => {
+                assert_eq!(format, LogFormat::DamonRegions)
+            }
+            other => panic!("{truncated:?}: expected TruncatedLine, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_fields_are_named() {
+    let cases: &[(&str, &str)] = &[
+        ("app pid7 [000] 1.0: page-faults: addr=0x1000", "pid"),
+        ("app 7 000 1.0: page-faults: addr=0x1000", "cpu"),
+        ("app 7 [cpu] 1.0: page-faults: addr=0x1000", "cpu"),
+        ("app 7 [000] 1.0 page-faults: addr=0x1000", "time"),
+        ("app 7 [000] abc: page-faults: addr=0x1000", "time"),
+        ("app 7 [000] 1.0000000001: page-faults: addr=0x1000", "time"),
+        ("app 7 [000] 1.0: page-faults addr=0x1000 R x", "event"),
+        ("app 7 [000] 1.0: page-faults: addr=0xzz", "addr"),
+    ];
+    for (line, field) in cases {
+        match perf(&format!("{line}\n")) {
+            Err(IngestError::BadField { line: 1, field: f }) => {
+                assert_eq!(f, *field, "wrong field for {line:?}")
+            }
+            other => panic!("{line:?}: expected BadField({field}), got {other:?}"),
+        }
+    }
+    for (line, field) in [
+        ("1.0 seven 0x0-0x1000 1", "pid"),
+        ("1.0 7 0x1000 1", "region"),
+        ("1.0 7 0xzz-0x1000 1", "region"),
+        ("1.0 7 0x0-0x1000 lots", "nr_accesses"),
+    ] {
+        match damon(&format!("{line}\n")) {
+            Err(IngestError::BadField { line: 1, field: f }) => {
+                assert_eq!(f, field, "wrong field for {line:?}")
+            }
+            other => panic!("{line:?}: expected BadField({field}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn overflowing_addresses_and_timestamps_are_typed() {
+    assert!(matches!(
+        perf("app 7 [000] 1.0: page-faults: addr=0x1ffffffffffffffff\n"),
+        Err(IngestError::AddressOverflow { line: 1 })
+    ));
+    assert!(matches!(
+        perf("app 7 [000] 99999999999999999999.0: page-faults: addr=0x1000\n"),
+        Err(IngestError::TimestampOverflow { line: 1 })
+    ));
+    // 2^64 ns is ~584 years; seconds that overflow after the ×10⁹ scale.
+    assert!(matches!(
+        perf("app 7 [000] 18446744074.0: page-faults: addr=0x1000\n"),
+        Err(IngestError::TimestampOverflow { line: 1 })
+    ));
+    assert!(matches!(
+        damon("1.0 7 0x1ffffffffffffffff-0x2ffffffffffffffff 1\n"),
+        Err(IngestError::AddressOverflow { line: 1 })
+    ));
+}
+
+#[test]
+fn out_of_order_timestamps_point_at_the_regression() {
+    let log = "\
+app 7 [000] 1.000002000: page-faults: addr=0x1000 R
+app 7 [000] 1.000001000: page-faults: addr=0x2000 R
+";
+    assert!(matches!(
+        perf(log),
+        Err(IngestError::OutOfOrderTimestamp { line: 2 })
+    ));
+    // An event before the `# t0:` base is equally out of order.
+    let log = "\
+# t0: 2.000000000
+app 7 [000] 1.000000000: page-faults: addr=0x1000 R
+";
+    assert!(matches!(
+        perf(log),
+        Err(IngestError::OutOfOrderTimestamp { line: 2 })
+    ));
+    // The check is global (across pids), like a merged fault recording.
+    let log = "\
+a 1 [000] 5.000000000: page-faults: addr=0x1000 R
+b 2 [001] 4.000000000: page-faults: addr=0x2000 R
+";
+    assert!(matches!(
+        perf(log),
+        Err(IngestError::OutOfOrderTimestamp { line: 2 })
+    ));
+    assert!(matches!(
+        damon("2.0 7 0x0-0x1000 1\n1.0 7 0x0-0x1000 1\n"),
+        Err(IngestError::OutOfOrderTimestamp { line: 2 })
+    ));
+}
+
+#[test]
+fn degenerate_and_overdense_regions_are_typed() {
+    assert!(matches!(
+        damon("1.0 7 0x2000-0x1000 1\n"),
+        Err(IngestError::EmptyRegion { line: 1 })
+    ));
+    assert!(matches!(
+        damon("1.0 7 0x1000-0x1000 1\n"),
+        Err(IngestError::EmptyRegion { line: 1 })
+    ));
+    let dense = format!("1.0 7 0x0-0x1000 {}\n", MAX_REGION_ACCESSES + 1);
+    match damon(&dense) {
+        Err(IngestError::RegionTooDense {
+            line: 1,
+            nr_accesses,
+        }) => {
+            assert_eq!(nr_accesses, MAX_REGION_ACCESSES + 1)
+        }
+        other => panic!("expected RegionTooDense, got {other:?}"),
+    }
+}
+
+#[test]
+fn auto_detection_rejects_unknown_shapes() {
+    let err = ingest_path("/dev/null").unwrap_err();
+    assert!(matches!(err, IngestError::EmptyLog), "{err:?}");
+    let dir = std::env::temp_dir().join("leap_ingest_errors_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.log");
+    std::fs::write(&path, "# a comment\nthis is not a fault log\n").unwrap();
+    assert!(matches!(
+        ingest_path(&path),
+        Err(IngestError::UnknownFormat { line: 2 })
+    ));
+    assert!(matches!(
+        ingest_path(dir.join("does_not_exist.log")),
+        Err(IngestError::Io(_))
+    ));
+    // Fraction-less DAMON timestamps are grammar-valid and must
+    // auto-detect (regression: detection once required a '.').
+    let damon_whole_secs = dir.join("whole_secs.log");
+    std::fs::write(&damon_whole_secs, "5 42 0x10000-0x14000 3\n").unwrap();
+    let ingested = ingest_path(&damon_whole_secs).expect("whole-second damon log ingests");
+    assert_eq!(ingested.total_accesses(), 3);
+}
+
+#[test]
+fn errors_display_their_line_numbers() {
+    let err = perf("app 7 [000] 1.0: page-faults:\n").unwrap_err();
+    assert_eq!(err.line(), Some(1));
+    assert!(err.to_string().contains("line 1"), "{err}");
+    let err = damon("1.0 7 0x2000-0x1000 1\n").unwrap_err();
+    assert!(err.to_string().contains("line 1"), "{err}");
+    assert!(IngestError::EmptyLog.line().is_none());
+}
+
+#[test]
+fn junk_barrage_never_panics() {
+    // A pile of adversarial lines: every one must come back as Err, not a
+    // panic, through both parsers.
+    let junk = [
+        "\u{0}\u{1}\u{2}",
+        "-1 -2 -3 -4",
+        "a b c d e f g h i j",
+        "1.0 7 -0x1000 1",
+        "1.0 7 0x1000- 1",
+        "1.0 7 -- 1",
+        "app 7 [000] .: x: y",
+        "app 7 [] 1.0: e: 0x0",
+        "🦀 🦀 🦀 🦀 🦀 🦀",
+        "app 7 [000] 1.0:: page-faults: addr=0x1000",
+        "18446744073709551615.999999999 7 0x0-0x1000 1",
+    ];
+    for line in junk {
+        let log = format!("{line}\n");
+        assert!(perf(&log).is_err(), "perf accepted {line:?}");
+        assert!(damon(&log).is_err(), "damon accepted {line:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the record/ingest round trip: any generated
+//! `AccessTrace` set, exported through `TraceRecorder` (either fed directly
+//! from an interleaved multi-pid event stream — the inverse of
+//! `multi::interleave` — or recorded off a real simulated run), must ingest
+//! back bit-identically: pages, read/write flags, compute costs, names, and
+//! per-process order.
+
+use leap_repro::leap_mem::Pid;
+use leap_repro::leap_sim_core::units::MIB;
+use leap_repro::leap_sim_core::Nanos;
+use leap_repro::leap_workloads::ingest::{ingest_str, LogFormat};
+use leap_repro::leap_workloads::{interleave, Access, AccessTrace};
+use leap_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Builds generated traces from per-process access specs. Page numbers stay
+/// below 2^40 (well inside the 52-bit range a byte address can carry),
+/// computes below 1 ms so multi-trace clocks stay far from overflow.
+fn traces_from(specs: &[Vec<(u64, bool, u64)>]) -> Vec<AccessTrace> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, accesses)| {
+            AccessTrace::new(
+                format!("app{i}"),
+                accesses
+                    .iter()
+                    .map(|&(page, is_write, compute)| Access {
+                        page,
+                        is_write,
+                        compute: Nanos(compute),
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Feeds the recorder the traces' accesses in an externally-chosen global
+/// order (a `multi::interleave` schedule) by synthesizing the fault events
+/// a replay would emit — the recorder only reads pid/page/write/compute.
+fn record_interleaved(traces: &[AccessTrace], seed: u64) -> TraceRecorder {
+    let mut recorder = TraceRecorder::for_traces(traces);
+    for (seq, step) in interleave(traces, seed).iter().enumerate() {
+        let event = FaultEvent {
+            seq: seq as u64,
+            pid: Pid(step.process as u32 + 1),
+            core: step.process % 4,
+            page: step.access.page,
+            is_write: step.access.is_write,
+            compute: step.access.compute,
+            outcome: AccessOutcome::RemoteFetch,
+            latency: Nanos::ZERO,
+            completed_at: Nanos::ZERO,
+            prefetches_issued: 0,
+        };
+        recorder.on_event(&event);
+    }
+    recorder
+}
+
+proptest! {
+    /// Interleave → record → ingest is the identity on the traces: the
+    /// demultiplexer inverts `multi::interleave` exactly, whatever the
+    /// interleaving seed.
+    #[test]
+    fn interleaved_export_reingests_bit_identical(
+        lens in proptest::collection::vec(1usize..30, 1..4),
+        seed in any::<u64>(),
+        page_scale in 1u64..1_000_000,
+    ) {
+        let specs: Vec<Vec<(u64, bool, u64)>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                (0..len as u64)
+                    .map(|j| {
+                        let page = ((i as u64) << 24) | ((j * page_scale) % (1 << 20));
+                        let is_write = (j + i as u64).is_multiple_of(3);
+                        let compute = (j * 977 + i as u64 * 131) % 1_000_000;
+                        (page, is_write, compute)
+                    })
+                    .collect()
+            })
+            .collect();
+        let traces = traces_from(&specs);
+        let recorder = record_interleaved(&traces, seed);
+        let log = recorder.to_log();
+        let reingested = ingest_str(&log, LogFormat::PerfScript).expect("export ingests");
+        prop_assert_eq!(reingested.traces(), &traces[..]);
+    }
+
+    /// Zero compute costs (ties in the global timestamp order) still round
+    /// trip: the stable sort keeps every pid's internal order.
+    #[test]
+    fn all_zero_compute_round_trips(
+        lens in proptest::collection::vec(1usize..20, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let specs: Vec<Vec<(u64, bool, u64)>> = lens
+            .iter()
+            .map(|&len| {
+                (0..len as u64)
+                    .map(|j| (j * 7, j.is_multiple_of(2), 0))
+                    .collect()
+            })
+            .collect();
+        let traces = traces_from(&specs);
+        let recorder = record_interleaved(&traces, seed);
+        let reingested = ingest_str(&recorder.to_log(), LogFormat::PerfScript)
+            .expect("export ingests");
+        prop_assert_eq!(reingested.traces(), &traces[..]);
+    }
+
+    /// Recording an actual scheduled multi-core replay (not a synthetic
+    /// event feed) round-trips too: the merged (core, seq) delivery order
+    /// still yields a globally sorted, per-pid-ordered log.
+    #[test]
+    fn simulated_run_export_reingests_bit_identical(
+        cores in 1usize..4,
+        seed in 0u64..1_000,
+        procs in 1usize..4,
+    ) {
+        let traces: Vec<AccessTrace> = (0..procs)
+            .map(|i| {
+                AppModel::new(AppKind::ALL[i % AppKind::ALL.len()], seed + i as u64)
+                    .with_working_set(MIB)
+                    .with_accesses(300)
+                    .generate()
+            })
+            .collect();
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .cores(cores)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let mut recorder = TraceRecorder::for_traces(&traces);
+        VmmSimulator::new(config)
+            .session()
+            .observe(&mut recorder)
+            .run_multi(&traces);
+        let reingested = ingest_str(&recorder.to_log(), LogFormat::PerfScript)
+            .expect("export ingests");
+        prop_assert_eq!(reingested.traces(), &traces[..]);
+    }
+}
+
+/// Non-property pin: the recorder's header and line shape are exactly the
+/// canonical grammar (one sample, human-auditable).
+#[test]
+fn export_shape_is_the_canonical_grammar() {
+    let trace = AccessTrace::new(
+        "demo",
+        vec![
+            Access::read(0x7f8a2c000, Nanos::from_micros(2)),
+            Access::write(0x7f8a2c001, Nanos::from_micros(3)),
+        ],
+    );
+    let recorder = record_interleaved(std::slice::from_ref(&trace), 1);
+    let log = recorder.to_log();
+    let expected = "\
+# t0: 0.000000000
+demo 1 [000] 0.000002000: page-faults: addr=0x7f8a2c000000 R
+demo 1 [000] 0.000005000: page-faults: addr=0x7f8a2c001000 W
+";
+    assert_eq!(log, expected);
+}

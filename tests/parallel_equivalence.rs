@@ -6,6 +6,7 @@
 
 use leap_repro::leap_sim_core::units::MIB;
 use leap_repro::leap_sim_core::Nanos;
+use leap_repro::leap_workloads::ingest::ingest_path;
 use leap_repro::leap_workloads::{sequential_trace, stride_trace, AccessTrace};
 use leap_repro::prelude::*;
 
@@ -149,6 +150,33 @@ fn more_workers_than_processes_leave_idle_shards_harmless() {
     let (log_threaded, threaded) = run_logged(config(4, 13, ReplayMode::Threaded), &traces);
     assert_eq!(log_serial.events(), log_threaded.events());
     assert_results_identical(serial, threaded);
+}
+
+/// Ingested fault logs are first-class workloads: the serial/threaded
+/// bit-identity contract holds for them exactly as for generated traces,
+/// across core counts and both committed fixture formats.
+#[test]
+fn ingested_fault_logs_replay_identically_in_both_modes() {
+    let fixtures = ["perf_faults.log", "damon_regions.log"];
+    for fixture in fixtures {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(fixture);
+        let traces = ingest_path(&path)
+            .unwrap_or_else(|e| panic!("{fixture} must ingest: {e}"))
+            .into_traces();
+        for cores in [1, 2, 4] {
+            let (log_serial, serial) = run_logged(config(cores, 2020, ReplayMode::Serial), &traces);
+            let (log_threaded, threaded) =
+                run_logged(config(cores, 2020, ReplayMode::Threaded), &traces);
+            assert_eq!(
+                log_serial.events(),
+                log_threaded.events(),
+                "{fixture}: merged stream diverged at cores={cores}"
+            );
+            assert_results_identical(serial, threaded);
+        }
+    }
 }
 
 /// An observer that records both per-event and per-batch delivery so the

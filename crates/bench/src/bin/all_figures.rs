@@ -15,6 +15,10 @@ fn main() {
         ("Figure 12", leap_bench::fig12_constrained_cache()),
         ("Figure 13", leap_bench::fig13_multi_app()),
         ("Figure 13 scale-up", leap_bench::fig13_scaleup()),
+        (
+            "Tenant scale-up",
+            leap_bench::fig_tenants(&[2, 4, 8], 2_000),
+        ),
     ];
     for (name, report) in reports {
         println!("==================== {name} ====================");

@@ -1,0 +1,13 @@
+//! Regenerates `fig_tenants`: multi-tenant service scale-up — aggregate
+//! pages/sec and worst p99 fault latency vs tenant count, synchronous
+//! (depth 1) vs pipelined (depth 8) remote I/O. Pass `--quick` for the CI
+//! smoke sizing.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (counts, accesses): (&[usize], usize) = if quick {
+        (&[2, 4, 8], 2_000)
+    } else {
+        (&[1, 2, 4, 8, 12, 16], 8_000)
+    };
+    println!("{}", leap_bench::fig_tenants(counts, accesses));
+}

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! cargo run --release -p leap-bench --bin perf_harness -- [--quick] \
-//!     [--cores N] [--out PATH] [--trace LOG]...
+//!     [--cores N] [--out PATH] [--trace LOG]... [--tenants N]
 //! ```
 //!
 //! `--quick` shrinks the traces for CI smoke runs. `--trace LOG`
@@ -18,14 +18,31 @@
 //! speedup is `serial wall-clock / threaded wall-clock`; it scales with the
 //! host's available cores (the simulated results are bit-identical either
 //! way).
+//!
+//! `--tenants N` additionally runs `N` tenants through the multi-tenant
+//! far-memory service (per-tenant budgets, async depth 8) in both replay
+//! modes, asserts the two modes' per-tenant QoS reports are bit-identical,
+//! and emits a `tenants` section with one row per tenant.
+//!
+//! Schema note: `leap-replay-bench/3` adds the optional top-level
+//! `tenants` key (null unless `--tenants` was passed) to
+//! `leap-replay-bench/2`; nothing else changed, so `/2` consumers that
+//! ignore unknown keys read `/3` files unmodified.
 
 use std::time::Instant;
 
 use leap::prelude::*;
 use leap::stage_timing::{self, StageBreakdown};
+use leap_bench::tenant_figures;
 use leap_bench::{TraceSource, EXPERIMENT_SEED};
+use leap_service::ServiceReport;
 use leap_sim_core::Nanos;
 use leap_workloads::AccessTrace;
+
+/// Async depth the tenant-service rows run at: deep enough that remote I/O
+/// genuinely overlaps compute, bounded so the virtual-time reactor (not the
+/// legacy free-overlap path) is what CI exercises.
+const TENANT_ASYNC_DEPTH: usize = 8;
 
 /// One workload's measurements in one replay mode.
 struct ModeMeasurement {
@@ -107,6 +124,47 @@ fn results_identical(a: &mut RunResult, b: &mut RunResult) -> bool {
         && a.remote_access_latency.sorted_samples() == b.remote_access_latency.sorted_samples()
         && a.allocation_wait.sorted_samples() == b.allocation_wait.sorted_samples()
         && a.eviction_wait.sorted_samples() == b.eviction_wait.sorted_samples()
+}
+
+/// One replay mode's wall-clock measurement of the tenant service run.
+struct TenantModeMeasurement {
+    wall_ms: f64,
+    report: ServiceReport,
+}
+
+/// Best-of-`repeats` wall clock for a full `--tenants N` service run.
+fn measure_tenants(
+    n: usize,
+    accesses: usize,
+    mode: ReplayMode,
+    repeats: usize,
+) -> TenantModeMeasurement {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let report = tenant_figures::run_tenants(n, accesses, TENANT_ASYNC_DEPTH, mode);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(report);
+    }
+    TenantModeMeasurement {
+        wall_ms: best_ms,
+        report: last.expect("at least one repeat"),
+    }
+}
+
+/// Bit-identity of two service runs: admission plan, wave makespans,
+/// pipeline counters, per-tenant eviction attribution, and every tenant's
+/// full QoS report (counters, percentiles, both event-stream checksums).
+fn service_reports_identical(a: &ServiceReport, b: &ServiceReport) -> bool {
+    a.admission == b.admission
+        && a.waves.len() == b.waves.len()
+        && a.waves.iter().zip(&b.waves).all(|(wa, wb)| {
+            wa.makespan == wb.makespan
+                && wa.result.pipeline == wb.result.pipeline
+                && wa.result.tenant_evictions == wb.result.tenant_evictions
+                && wa.tenants == wb.tenants
+        })
 }
 
 fn run_workload(
@@ -202,12 +260,19 @@ fn main() {
         .filter(|(_, a)| *a == "--trace")
         .filter_map(|(i, _)| args.get(i + 1).cloned())
         .collect();
+    let tenants: usize = args
+        .iter()
+        .position(|a| a == "--tenants")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
     let (app_accesses, synth_accesses, repeats) = if quick {
         (10_000, 20_000, 2)
     } else {
         (60_000, 150_000, 3)
     };
+    let tenant_accesses = if quick { 2_000 } else { 8_000 };
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -273,6 +338,74 @@ fn main() {
         );
     }
 
+    let tenant_section = (tenants > 0).then(|| {
+        let serial = measure_tenants(tenants, tenant_accesses, ReplayMode::Serial, repeats);
+        let threaded = measure_tenants(tenants, tenant_accesses, ReplayMode::Threaded, repeats);
+        let identical = service_reports_identical(&serial.report, &threaded.report);
+        let aggregate: f64 = serial
+            .report
+            .waves
+            .iter()
+            .map(|w| w.aggregate_pages_per_sec)
+            .sum();
+        println!(
+            "\ntenant service: {tenants} tenants x {tenant_accesses} accesses \
+             (async depth {TENANT_ASYNC_DEPTH}): serial {:.1} ms, threaded {:.1} ms, \
+             {aggregate:.0} simulated pages/s, identical {identical}",
+            serial.wall_ms, threaded.wall_ms,
+        );
+        for (id, qos) in serial.report.tenant_reports() {
+            println!(
+                "  {id}: {:.0} pages/s, p50 {:.1} us, p99 {:.1} us, hit ratio {:.2}",
+                qos.pages_per_sec,
+                qos.p50_fault_latency.as_nanos() as f64 / 1e3,
+                qos.p99_fault_latency.as_nanos() as f64 / 1e3,
+                qos.hit_ratio,
+            );
+        }
+        assert!(identical, "tenant service: replay modes diverged");
+        let rows: Vec<String> = serial
+            .report
+            .tenant_reports()
+            .map(|(id, qos)| {
+                format!(
+                    concat!(
+                        "{{\"tenant\":\"{}\",\"accesses\":{},",
+                        "\"remote_accesses\":{},\"pages_per_sec\":{:.0},",
+                        "\"p50_fault_us\":{:.3},\"p99_fault_us\":{:.3},",
+                        "\"hit_ratio\":{:.4},\"behavior_checksum\":\"{:#018x}\",",
+                        "\"timing_checksum\":\"{:#018x}\"}}"
+                    ),
+                    id,
+                    qos.accesses,
+                    qos.remote_accesses,
+                    qos.pages_per_sec,
+                    qos.p50_fault_latency.as_nanos() as f64 / 1e3,
+                    qos.p99_fault_latency.as_nanos() as f64 / 1e3,
+                    qos.hit_ratio,
+                    qos.behavior_checksum,
+                    qos.timing_checksum,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"count\":{},\"accesses_per_tenant\":{},",
+                "\"async_depth\":{},\"serial_wall_ms\":{:.3},",
+                "\"threaded_wall_ms\":{:.3},\"aggregate_pages_per_sec\":{:.0},",
+                "\"identical_results\":{},\"rows\":[{}]}}"
+            ),
+            tenants,
+            tenant_accesses,
+            TENANT_ASYNC_DEPTH,
+            serial.wall_ms,
+            threaded.wall_ms,
+            aggregate,
+            identical,
+            rows.join(","),
+        )
+    });
+
     if stage_timing::ENABLED {
         println!("\nper-stage hot-path time (serial mode, summed over repeats):");
         for row in &rows {
@@ -313,19 +446,22 @@ fn main() {
             )
         })
         .collect();
+    // Schema /3 = /2 plus the optional `tenants` key (see module docs).
     let json = format!(
         concat!(
-            "{{\"schema\":\"leap-replay-bench/2\",\"quick\":{},",
+            "{{\"schema\":\"leap-replay-bench/3\",\"quick\":{},",
             "\"shards\":{},\"host_cores\":{},\"peak_rss_kb\":{},",
             "\"stage_timing\":{},",
-            "\"workloads\":[{}]}}\n"
+            "\"workloads\":[{}],",
+            "\"tenants\":{}}}\n"
         ),
         quick,
         cores,
         host_cores,
         peak_rss_kb(),
         stage_timing::ENABLED,
-        workloads_json.join(",")
+        workloads_json.join(","),
+        tenant_section.unwrap_or_else(|| "null".to_string()),
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path} (peak RSS {} kB)", peak_rss_kb());

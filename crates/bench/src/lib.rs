@@ -16,8 +16,10 @@
 
 pub mod app_figures;
 pub mod micro_figures;
+pub mod tenant_figures;
 pub mod trace_source;
 
+pub use tenant_figures::fig_tenants;
 pub use trace_source::TraceSource;
 
 pub use app_figures::{

@@ -210,6 +210,30 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the in-flight budget of the per-shard async I/O pipeline
+    /// ([`crate::AsyncPipeline`]). Validated nonzero.
+    ///
+    /// `usize::MAX` (the default) keeps the legacy free-overlap accounting:
+    /// asynchronous prefetch reads and write-backs never stall the faulting
+    /// access. Finite depths bound the asynchrony; depth 1 bills every async
+    /// I/O synchronously.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use leap::prelude::*;
+    ///
+    /// let config = SimConfig::builder().async_depth(8).build()?;
+    /// assert_eq!(config.async_depth, 8);
+    /// let err = SimConfig::builder().async_depth(0).build().unwrap_err();
+    /// assert!(matches!(err, ConfigError::ZeroAsyncDepth));
+    /// # Ok::<(), leap::ConfigError>(())
+    /// ```
+    pub fn async_depth(mut self, depth: usize) -> Self {
+        self.config.async_depth = depth;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -406,6 +430,7 @@ mod tests {
             .cores(4)
             .sched_quantum(Nanos::from_micros(750))
             .per_process_isolation(false)
+            .async_depth(16)
             .seed(99)
             .backend_read_latency(Nanos::from_micros(3))
             .backend_write_latency(Nanos::from_micros(5))
@@ -422,6 +447,7 @@ mod tests {
         assert_eq!(config.cores, 4);
         assert_eq!(config.sched_quantum, Nanos::from_micros(750));
         assert!(!config.per_process_isolation);
+        assert_eq!(config.async_depth, 16);
         assert_eq!(config.seed, 99);
         assert_eq!(config.backend_read_latency, Some(Nanos::from_micros(3)));
         assert_eq!(config.backend_write_latency, Some(Nanos::from_micros(5)));
@@ -456,6 +482,10 @@ mod tests {
         assert!(matches!(
             SimConfig::builder().prefetch_cache_pages(0).build(),
             Err(ConfigError::ZeroPrefetchCache)
+        ));
+        assert!(matches!(
+            SimConfig::builder().async_depth(0).build(),
+            Err(ConfigError::ZeroAsyncDepth)
         ));
         assert!(matches!(
             SimConfig::builder()

@@ -163,6 +163,13 @@ pub struct SimConfig {
     /// When several processes run, whether each gets its own isolated
     /// prefetcher state (Leap) or they share one (Linux's shared swap path).
     pub per_process_isolation: bool,
+    /// In-flight budget of the per-shard async I/O pipeline
+    /// ([`crate::AsyncPipeline`]): how many asynchronous remote requests
+    /// (prefetch reads, write-backs) may be outstanding before a submitter
+    /// stalls. `usize::MAX` (the default) models unbounded asynchrony — the
+    /// legacy free-overlap accounting, bit-for-bit; `1` disables asynchrony
+    /// entirely, billing every async I/O synchronously. Validated nonzero.
+    pub async_depth: usize,
     /// RNG seed; equal seeds reproduce runs exactly.
     pub seed: u64,
     /// Overrides the backend's 4 KB read latency with a constant (for
@@ -208,6 +215,7 @@ impl SimConfig {
             context_switch_cost: crate::sched::CONTEXT_SWITCH,
             replay_mode: ReplayMode::Serial,
             per_process_isolation: false,
+            async_depth: usize::MAX,
             seed: 42,
             backend_read_latency: None,
             backend_write_latency: None,
@@ -261,6 +269,9 @@ impl SimConfig {
         }
         if self.prefetch_cache_pages == 0 {
             return Err(ConfigError::ZeroPrefetchCache);
+        }
+        if self.async_depth == 0 {
+            return Err(ConfigError::ZeroAsyncDepth);
         }
         if self.prefetch_cache_pages != u64::MAX
             && self.prefetch_cache_pages < self.max_prefetch_window as u64
@@ -319,6 +330,7 @@ impl SimConfig {
                 "\"context_switch_ns\":{},",
                 "\"replay_mode\":\"{}\",",
                 "\"per_process_isolation\":{},",
+                "\"async_depth\":{},",
                 "\"seed\":{},",
                 "\"backend_read_latency_ns\":{},",
                 "\"backend_write_latency_ns\":{}",
@@ -337,6 +349,7 @@ impl SimConfig {
             self.context_switch_cost.as_nanos(),
             self.replay_mode.label(),
             self.per_process_isolation,
+            self.async_depth,
             self.seed,
             opt_nanos(self.backend_read_latency),
             opt_nanos(self.backend_write_latency),
@@ -425,6 +438,7 @@ impl SimConfig {
                         })?
                 }
                 "per_process_isolation" => config.per_process_isolation = parse_bool(value)?,
+                "async_depth" => config.async_depth = parse_num::<usize>(value)?,
                 "seed" => config.seed = parse_num::<u64>(value)?,
                 "backend_read_latency_ns" => {
                     config.backend_read_latency = parse_opt_nanos(value)?;
@@ -565,6 +579,7 @@ mod tests {
             .context_switch_cost(Nanos::from_micros(5))
             .replay_mode(ReplayMode::Threaded)
             .per_process_isolation(true)
+            .async_depth(6)
             .seed(1234)
             .backend_read_latency(Nanos::from_micros(7))
             .build()
@@ -607,6 +622,10 @@ mod tests {
         assert!(matches!(
             SimConfig::from_json("{\"sched_quantum_ns\":0}"),
             Err(ConfigError::ZeroQuantum)
+        ));
+        assert!(matches!(
+            SimConfig::from_json("{\"async_depth\":0}"),
+            Err(ConfigError::ZeroAsyncDepth)
         ));
     }
 }

@@ -21,14 +21,16 @@
 use crate::builder::SimSetup;
 use crate::components::ResolvedComponents;
 use crate::config::SimConfig;
+use crate::pipeline::{AsyncPipeline, IoKind};
 use crate::result::RunResult;
 use crate::session::{AccessOutcome, FaultEvent};
 use crate::stage_timing::{self, Stage};
 use crate::tracker::PageAccessTracker;
 use leap_datapath::{DataPath, PathLatency};
 use leap_eviction::{CacheEvictor, EvictionReport};
-use leap_mem::{CacheEntry, CacheOrigin, Pid, ShardedSwapCache, SwapSlot};
+use leap_mem::{CacheEntry, CacheOrigin, MemoryLimit, Pid, ShardedSwapCache, SwapSlot};
 use leap_prefetcher::PageAddr;
+use leap_sim_core::hash::FxHashMap;
 use leap_sim_core::{DetRng, Nanos, SimClock};
 use leap_workloads::{Access, AccessTrace};
 
@@ -58,6 +60,20 @@ pub(crate) struct EngineCore {
     /// front-end's local file-cache limit). `None` — the VMM's setting —
     /// skips the budget check entirely on the hot path.
     cache_budget: Option<u64>,
+    /// This shard's async I/O submission queue: prefetch reads and
+    /// write-backs go through it so the in-flight budget
+    /// ([`SimConfig::async_depth`]) can stall the submitter once the
+    /// asynchrony runs out.
+    pipeline: AsyncPipeline,
+    /// Pipeline stall accumulated since the front-end last collected it via
+    /// [`EngineCore::take_pending_stall`] (charged to the faulting access).
+    pending_stall: Nanos,
+    /// Per-tenant cgroup-style memory limits: the engine's eviction
+    /// accounting ledger. Front-ends register each process's
+    /// [`MemoryLimit`] here and charge/uncharge residency through the
+    /// engine, so budget enforcement and per-tenant eviction counts live in
+    /// one place.
+    tenant_limits: FxHashMap<Pid, MemoryLimit>,
     /// Reusable scratch for span-batched prefetch admission (slots admitted
     /// this span), so the fault hot path never allocates for it.
     span_scratch: Vec<SwapSlot>,
@@ -89,6 +105,9 @@ impl EngineCore {
             active_core: 0,
             scheduled: false,
             cache_budget: None,
+            pipeline: AsyncPipeline::new(config.async_depth),
+            pending_stall: Nanos::ZERO,
+            tenant_limits: FxHashMap::default(),
             span_scratch: Vec::new(),
             owner_scratch: Vec::new(),
             present_scratch: Vec::new(),
@@ -135,6 +154,9 @@ impl EngineCore {
             active_core: core,
             scheduled: true,
             cache_budget: self.cache_budget,
+            pipeline: AsyncPipeline::new(config.async_depth),
+            pending_stall: Nanos::ZERO,
+            tenant_limits: FxHashMap::default(),
             span_scratch: Vec::new(),
             owner_scratch: Vec::new(),
             present_scratch: Vec::new(),
@@ -250,6 +272,77 @@ impl EngineCore {
         stage_timing::time(Stage::DataPath, || {
             self.data_path.write_page(page_offset, core, now)
         })
+    }
+
+    /// Serves one prefetch read like [`EngineCore::read_remote`] (same
+    /// dispatch queues, same random streams), then submits it to the async
+    /// pipeline so any in-flight-budget stall accumulates for the front-end
+    /// to charge via [`EngineCore::take_pending_stall`].
+    pub fn read_remote_async(&mut self, page_offset: u64) -> PathLatency {
+        let breakdown = self.read_remote(page_offset);
+        self.submit_async(breakdown.total(), IoKind::PrefetchRead);
+        breakdown
+    }
+
+    /// Issues one write-back like [`EngineCore::write_remote`], then submits
+    /// it to the async pipeline (see [`EngineCore::read_remote_async`]).
+    pub fn write_remote_async(&mut self, page_offset: u64) -> PathLatency {
+        let breakdown = self.write_remote(page_offset);
+        self.submit_async(breakdown.total(), IoKind::WriteBack);
+        breakdown
+    }
+
+    /// Submits one already-issued transfer to the pipeline and banks the
+    /// stall the in-flight budget imposed on the submitter.
+    fn submit_async(&mut self, service: Nanos, kind: IoKind) {
+        let outcome = self.pipeline.submit(self.clock.now(), service, kind);
+        self.pending_stall = self.pending_stall.saturating_add(outcome.stall);
+    }
+
+    /// Hands the front-end the pipeline stall accumulated since the last
+    /// call, resetting the accumulator. The caller folds it into whichever
+    /// latency the blocked submitter is charged to (fault latency for
+    /// prefetch reads, allocation wait for eviction write-backs).
+    pub fn take_pending_stall(&mut self) -> Nanos {
+        std::mem::replace(&mut self.pending_stall, Nanos::ZERO)
+    }
+
+    /// Registers (or replaces) `pid`'s memory budget in the engine's tenant
+    /// ledger. Residency charging and eviction accounting for the tenant go
+    /// through [`EngineCore::charge_tenant`] /
+    /// [`EngineCore::record_swap_out`] afterwards.
+    pub fn set_tenant_limit(&mut self, pid: Pid, limit: MemoryLimit) {
+        self.tenant_limits.insert(pid, limit);
+    }
+
+    /// Charges one resident page to `pid`'s budget. Returns `false` when the
+    /// charge did not fit (the tenant is at its limit and reclaim must make
+    /// room); tenants without a registered limit are never blocked.
+    pub fn charge_tenant(&mut self, pid: Pid) -> bool {
+        match self.tenant_limits.get_mut(&pid) {
+            Some(limit) => limit.try_charge(1),
+            None => true,
+        }
+    }
+
+    /// How many of `pid`'s resident pages must be reclaimed before `extra`
+    /// more fit under its budget (0 when the tenant has headroom or no
+    /// registered limit).
+    pub fn tenant_pages_to_reclaim(&self, pid: Pid, extra: u64) -> u64 {
+        match self.tenant_limits.get(&pid) {
+            Some(limit) => limit.pages_to_reclaim_for(extra),
+            None => 0,
+        }
+    }
+
+    /// Books one page of `pid` swapped out: uncharges its budget and bumps
+    /// both the global and the per-tenant eviction counters.
+    pub fn record_swap_out(&mut self, pid: Pid) {
+        if let Some(limit) = self.tenant_limits.get_mut(&pid) {
+            limit.uncharge(1);
+        }
+        self.result.pages_swapped_out += 1;
+        *self.result.tenant_evictions.entry(pid.0).or_insert(0) += 1;
     }
 
     /// Books an eviction pass into the run metrics: post-hit waits feed the
@@ -380,7 +473,7 @@ impl EngineCore {
             if !self.make_cache_space_at(shard) {
                 continue;
             }
-            let _ = self.read_remote(slot.0);
+            let _ = self.read_remote_async(slot.0);
             let now = self.clock.now();
             stage_timing::time(Stage::Cache, || {
                 self.cache.shard_mut(shard).insert_fresh(
@@ -426,7 +519,7 @@ impl EngineCore {
             if present[i] || admitted.contains(&slot) {
                 continue;
             }
-            let _ = self.read_remote(slot.0);
+            let _ = self.read_remote_async(slot.0);
             admitted.push(slot);
             admitted_owners.push(owners[i]);
         }
@@ -545,6 +638,7 @@ impl EngineCore {
         prefetches_issued: u32,
     ) -> FaultEvent {
         self.clock.advance(latency);
+        self.pipeline.retire(self.clock.now());
         self.result.access_latency.record(latency);
         if outcome.is_remote() {
             self.result.remote_access_latency.record(latency);
@@ -572,8 +666,26 @@ impl EngineCore {
         self.result.total_accesses += 1;
     }
 
+    /// Resets the async pipeline, forgetting traffic submitted so far (the
+    /// prepopulation phase issues write-backs that do not belong to the
+    /// measured run) so the pipeline counters start clean.
+    pub fn reset_pipeline(&mut self) {
+        self.pipeline = AsyncPipeline::new(self.config.async_depth);
+        self.pending_stall = Nanos::ZERO;
+    }
+
+    /// Folds the pipeline's final state into the result: drains outstanding
+    /// completions (the run waits for its in-flight I/O) and snapshots the
+    /// counters. Shard workers call this before their partial results are
+    /// merged.
+    pub fn seal_pipeline(&mut self) {
+        self.pipeline.drain();
+        self.result.pipeline = *self.pipeline.stats();
+    }
+
     /// Finishes the run.
     pub fn into_result(mut self) -> RunResult {
+        self.seal_pipeline();
         self.result.completion_time = self.clock.now();
         self.result
     }

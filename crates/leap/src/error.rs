@@ -25,6 +25,10 @@ pub enum ConfigError {
     /// `prefetch_cache_pages` must be nonzero; a zero-capacity cache would
     /// silently disable prefetching while the prefetcher still pays for it.
     ZeroPrefetchCache,
+    /// `async_depth` must be nonzero: a zero in-flight budget could never
+    /// admit a request. Depth 1 is the synchronous-billing degenerate case;
+    /// `usize::MAX` (the default) is unbounded asynchrony.
+    ZeroAsyncDepth,
     /// `context_switch_cost` is implausibly large (more than
     /// [`crate::config::MAX_CONTEXT_SWITCH`]); almost certainly a unit
     /// mistake.
@@ -81,6 +85,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroCores => write!(f, "cores must be nonzero"),
             ConfigError::ZeroQuantum => write!(f, "sched_quantum must be nonzero"),
             ConfigError::ZeroPrefetchCache => write!(f, "prefetch_cache_pages must be nonzero"),
+            ConfigError::ZeroAsyncDepth => write!(f, "async_depth must be nonzero"),
             ConfigError::ContextSwitchTooLarge { cost, max } => write!(
                 f,
                 "context_switch_cost of {cost} exceeds the plausible maximum of {max} \

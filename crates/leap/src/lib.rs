@@ -70,6 +70,7 @@ pub mod config;
 mod engine;
 pub mod error;
 pub mod parallel;
+pub mod pipeline;
 pub mod recorder;
 pub mod result;
 pub mod sched;
@@ -85,6 +86,7 @@ pub use components::{
 };
 pub use config::{DataPathKind, EvictionPolicy, ReplayMode, SimConfig};
 pub use error::ConfigError;
+pub use pipeline::{AsyncPipeline, IoKind, PipelineStats, SubmitOutcome};
 pub use recorder::TraceRecorder;
 pub use result::RunResult;
 pub use sched::{CoreScheduler, ScheduledSlot};
@@ -104,6 +106,7 @@ pub mod prelude {
     };
     pub use crate::config::{DataPathKind, EvictionPolicy, ReplayMode, SimConfig};
     pub use crate::error::ConfigError;
+    pub use crate::pipeline::{AsyncPipeline, IoKind, PipelineStats, SubmitOutcome};
     pub use crate::recorder::TraceRecorder;
     pub use crate::result::RunResult;
     pub use crate::sched::CoreScheduler;

@@ -1,7 +1,9 @@
 //! Results of a simulation run.
 
+use crate::pipeline::PipelineStats;
 use leap_metrics::{CacheStats, LatencyHistogram, PrefetchStats};
 use leap_sim_core::Nanos;
+use std::collections::BTreeMap;
 
 /// Everything a run produces: latency distributions, cache and prefetch
 /// statistics, and the application-level completion time.
@@ -43,6 +45,13 @@ pub struct RunResult {
     pub allocation_wait: LatencyHistogram,
     /// Pages written back to the slower tier (swap-outs).
     pub pages_swapped_out: u64,
+    /// Async request/completion pipeline counters (prefetch reads,
+    /// write-backs, budget stall); merged across shards.
+    pub pipeline: PipelineStats,
+    /// Swap-outs attributed per tenant (`pid.0` → pages evicted from that
+    /// tenant's residency), keyed with a `BTreeMap` so iteration — and
+    /// therefore any report built from it — is deterministic.
+    pub tenant_evictions: BTreeMap<u32, u64>,
 }
 
 impl RunResult {
@@ -102,6 +111,10 @@ impl RunResult {
         self.prefetch_stats.merge(&shard.prefetch_stats);
         self.eviction_wait.merge(&shard.eviction_wait);
         self.allocation_wait.merge(&shard.allocation_wait);
+        self.pipeline.merge(&shard.pipeline);
+        for (pid, pages) in shard.tenant_evictions {
+            *self.tenant_evictions.entry(pid).or_insert(0) += pages;
+        }
     }
 }
 

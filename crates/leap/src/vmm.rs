@@ -58,11 +58,12 @@ const SWAP_OUT_OVERHEAD: Nanos = Nanos(1_000);
 /// constraint, halved so per-shard region arithmetic cannot overflow.
 const SWAP_CAPACITY: u64 = u64::MAX / 2;
 
-/// Per-process paging state.
+/// Per-process paging state. The process's cgroup-style memory budget lives
+/// in the engine's tenant ledger ([`EngineCore::set_tenant_limit`]), not
+/// here, so eviction accounting is enforced where evictions are booked.
 #[derive(Debug)]
 struct ProcessState {
     page_table: PageTable,
-    limit: MemoryLimit,
     resident_lru: LruList<VirtPage>,
 }
 
@@ -87,6 +88,10 @@ pub struct VmmSimulator {
     span_pids: Vec<Pid>,
     span_pages: Vec<VirtPage>,
     span_states: Vec<PageState>,
+    /// Explicit per-tenant budget overrides (`pid.0` → resident pages),
+    /// taking precedence over the `memory_fraction`-derived limit when the
+    /// process registers. Set by the service layer's admission control.
+    tenant_budget_pages: FxHashMap<u32, u64>,
 }
 
 impl VmmSimulator {
@@ -120,7 +125,16 @@ impl VmmSimulator {
             span_pids: Vec::new(),
             span_pages: Vec::new(),
             span_states: Vec::new(),
+            tenant_budget_pages: FxHashMap::default(),
         }
+    }
+
+    /// Overrides the resident-memory budget of process `pid` to `pages`
+    /// pages, replacing the `memory_fraction`-derived default when the
+    /// process registers (before the run starts). This is how the service
+    /// layer's admission control gives each tenant its admitted budget.
+    pub fn set_tenant_budget_pages(&mut self, pid: Pid, pages: u64) {
+        self.tenant_budget_pages.insert(pid.0, pages);
     }
 
     /// Like [`Simulator::run`], but first touches the trace's working set
@@ -140,21 +154,24 @@ impl VmmSimulator {
     }
 
     fn register_process(&mut self, pid: Pid, working_set_pages: u64) {
-        let limit = MemoryLimit::fraction_of(
-            working_set_pages * PAGE_SIZE,
-            self.engine.config.memory_fraction,
-        );
+        let limit = match self.tenant_budget_pages.get(&pid.0) {
+            Some(&pages) => MemoryLimit::from_pages(pages),
+            None => MemoryLimit::fraction_of(
+                working_set_pages * PAGE_SIZE,
+                self.engine.config.memory_fraction,
+            ),
+        };
         // Pre-size the per-process maps from the trace's working set (the
         // page table sees every touched page; the LRU at most the resident
         // limit), clamped so a degenerate trace cannot pre-allocate the
         // world: steady-state faults then never rehash either structure.
         let table_hint = working_set_pages.min(1 << 22) as usize;
         let lru_hint = limit.limit_pages().min(table_hint as u64) as usize;
+        self.engine.set_tenant_limit(pid, limit);
         self.processes.insert(
             pid,
             ProcessState {
                 page_table: PageTable::with_capacity(table_hint),
-                limit,
                 resident_lru: LruList::with_capacity(lru_hint),
             },
         );
@@ -195,6 +212,10 @@ impl VmmSimulator {
             latency = breakdown.total();
             let decision = self.engine.prefetch_decision(pid, PageAddr(slot.0));
             prefetches_issued = self.issue_prefetches(decision.pages());
+            // A bounded async depth can stall the faulting core while its
+            // prefetch submissions wait for in-flight slots; charge that
+            // stall here (it is zero at the default unbounded depth).
+            latency = latency.saturating_add(self.engine.take_pending_stall());
             outcome = AccessOutcome::RemoteFetch;
             false
         };
@@ -328,10 +349,7 @@ impl VmmSimulator {
     /// recently used resident pages if needed. Returns the allocation wait
     /// charged to the faulting access.
     fn make_room(&mut self, pid: Pid, pages: u64) -> Nanos {
-        let need = {
-            let process = self.processes.get(&pid).expect("registered process");
-            process.limit.pages_to_reclaim_for(pages)
-        };
+        let need = self.engine.tenant_pages_to_reclaim(pid, pages);
         if need == 0 {
             return Nanos::ZERO;
         }
@@ -366,15 +384,17 @@ impl VmmSimulator {
                 .unmap_to_swap(victim_page, slot)
                 .is_some()
             {
-                process.limit.uncharge(1);
-                self.engine.result.pages_swapped_out += 1;
+                self.engine.record_swap_out(pid);
                 wait = wait.saturating_add(SWAP_OUT_OVERHEAD);
                 // The write-back itself is asynchronous: issue it so the
                 // backend and dispatch queues see the traffic, but do not
-                // charge its latency to the faulting access.
-                let _ = self.engine.write_remote(slot.0);
+                // charge its latency to the faulting access — unless the
+                // in-flight budget is exhausted, in which case the stall
+                // surfaces as allocation wait below.
+                let _ = self.engine.write_remote_async(slot.0);
             }
         }
+        wait = wait.saturating_add(self.engine.take_pending_stall());
         self.engine.result.allocation_wait.record(wait);
         wait
     }
@@ -403,6 +423,7 @@ impl VmmSimulator {
                     span_pids: Vec::new(),
                     span_pages: Vec::new(),
                     span_states: Vec::new(),
+                    tenant_budget_pages: self.tenant_budget_pages.clone(),
                 };
                 let mut accesses = 0usize;
                 for process in sched.run_queue(core) {
@@ -424,12 +445,10 @@ impl VmmSimulator {
             .frames
             .allocate()
             .expect("global frame pool is effectively unbounded");
+        // make_room should have freed space; if the charge still does not
+        // fit, the limit saturates and one more page is evicted next time.
+        let _ = self.engine.charge_tenant(pid);
         let process = self.processes.get_mut(&pid).expect("registered process");
-        if !process.limit.try_charge(1) {
-            // make_room should have freed space; as a fallback charge anyway
-            // by evicting one more page next time (the limit saturates).
-            let _ = process.limit.try_charge(0);
-        }
         process.page_table.map(page, frame);
         process.resident_lru.push(page);
     }
@@ -448,7 +467,8 @@ impl CoreWorker for VmmSimulator {
         self.engine.clock.now()
     }
 
-    fn into_partial(self) -> RunResult {
+    fn into_partial(mut self) -> RunResult {
+        self.engine.seal_pipeline();
         self.engine.result
     }
 }
@@ -554,10 +574,13 @@ impl Simulator for VmmSimulator {
             let _ = self.make_room(pid, 1);
             self.map_in(pid, vp, true);
         }
-        // Prepopulation metrics (allocation waits recorded by make_room) do
-        // not belong in the measured run.
+        // Prepopulation metrics (allocation waits recorded by make_room,
+        // write-backs submitted to the pipeline) do not belong in the
+        // measured run.
         self.engine.result.allocation_wait = Default::default();
         self.engine.result.pages_swapped_out = 0;
+        self.engine.result.tenant_evictions.clear();
+        self.engine.reset_pipeline();
     }
 
     fn step_access(&mut self, pid: Pid, access: Access) -> FaultEvent {

@@ -8,6 +8,8 @@
 //! - [`leap_prefetcher`] — the majority-trend prefetcher and baselines.
 //! - [`leap_mem`], [`leap_remote`], [`leap_datapath`], [`leap_eviction`] —
 //!   the substrates.
+//! - [`leap_service`] — the multi-tenant far-memory paging service
+//!   (admission, budgets, per-tenant QoS).
 //! - [`leap_workloads`] — trace generators.
 //! - [`leap_metrics`] — histograms, counters, and text tables.
 //! - [`leap_sim_core`] — clock, RNG, latency samplers.
@@ -23,6 +25,7 @@ pub use leap_mem;
 pub use leap_metrics;
 pub use leap_prefetcher;
 pub use leap_remote;
+pub use leap_service;
 pub use leap_sim_core;
 pub use leap_workloads;
 

@@ -146,6 +146,75 @@ proptest! {
     }
 }
 
+/// A recorded multi-tenant *service* run round-trips through ingestion and
+/// re-admission: each wave's exported fault log reproduces that wave's
+/// tenant traces bit-identically, and a fresh service built from the
+/// ingested logs (same budgets, same config) replays with bit-identical
+/// per-tenant QoS — counters, latency percentiles, and both event-stream
+/// checksums — plus identical engine aggregates.
+#[test]
+fn recorded_service_run_readmits_bit_identically() {
+    use leap_repro::leap_service::{AdmissionPolicy, FarMemoryService, TenantSpec};
+    use leap_repro::leap_workloads::{sequential_trace, stride_trace};
+
+    let config = SimConfig::builder()
+        .memory_fraction(0.5)
+        .cores(2)
+        .seed(2020)
+        .build()
+        .expect("valid config");
+    // Three tenants per wave capacity-wise: 300-page budgets against a
+    // 1000-page service force two waves (3 + 1), so the round trip covers
+    // the multi-wave path too.
+    let mut service = FarMemoryService::new(config, 1_000, AdmissionPolicy::Queue);
+    let budgets = [300u64, 300, 300, 300];
+    for (i, budget) in budgets.iter().enumerate() {
+        let base = if i % 2 == 0 {
+            sequential_trace(MIB, 2)
+        } else {
+            stride_trace(MIB, 10, 2)
+        };
+        let trace = AccessTrace::new(format!("svc{i}"), base.iter().copied().collect());
+        service.register(TenantSpec::new(trace, *budget));
+    }
+    let (original, logs) = service.run_recorded();
+    assert_eq!(original.waves.len(), 2, "3 + 1 admission expected");
+    assert_eq!(logs.len(), original.waves.len());
+
+    // Re-admit: every wave's log ingests back to exactly the traces that
+    // wave replayed, and becomes the tenant set of a fresh service.
+    let mut readmitted = FarMemoryService::new(config, 1_000, AdmissionPolicy::Queue);
+    for (wave, log) in original.admission.waves.iter().zip(&logs) {
+        let ingested = ingest_str(log, LogFormat::PerfScript).expect("recorded log ingests");
+        let wave_traces: Vec<AccessTrace> = wave
+            .iter()
+            .map(|id| service.registry().spec(*id).trace.clone())
+            .collect();
+        assert_eq!(ingested.traces(), &wave_traces[..], "wave traces diverged");
+        let budget_of = |trace: &AccessTrace| {
+            let idx: usize = trace.name().strip_prefix("svc").unwrap().parse().unwrap();
+            budgets[idx]
+        };
+        readmitted.register_ingested(ingested, budget_of);
+    }
+    let replayed = readmitted.run();
+
+    // Tenants were re-registered in executed-wave order, so first-fit
+    // reproduces the same wave partition; everything downstream must be
+    // bit-identical.
+    assert_eq!(replayed.waves.len(), original.waves.len());
+    for (wo, wr) in original.waves.iter().zip(&replayed.waves) {
+        assert_eq!(wo.makespan, wr.makespan, "wave makespan");
+        assert_eq!(wo.result.pipeline, wr.result.pipeline, "pipeline stats");
+        assert_eq!(wo.result.tenant_evictions, wr.result.tenant_evictions);
+        assert_eq!(wo.result.completion_time, wr.result.completion_time);
+        assert_eq!(wo.tenants.len(), wr.tenants.len());
+        for ((_, ro), (_, rr)) in wo.tenants.iter().zip(&wr.tenants) {
+            assert_eq!(ro, rr, "per-tenant QoS diverged for {}", ro.pid);
+        }
+    }
+}
+
 /// Non-property pin: the recorder's header and line shape are exactly the
 /// canonical grammar (one sample, human-auditable).
 #[test]

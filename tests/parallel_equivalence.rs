@@ -84,6 +84,11 @@ fn assert_results_identical(mut a: RunResult, mut b: RunResult) {
         b.eviction_wait.sorted_samples(),
         "eviction wait distribution"
     );
+    assert_eq!(a.pipeline, b.pipeline, "async pipeline counters");
+    assert_eq!(
+        a.tenant_evictions, b.tenant_evictions,
+        "per-tenant eviction counts"
+    );
 }
 
 #[test]

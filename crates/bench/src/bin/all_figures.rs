@@ -19,6 +19,7 @@ fn main() {
             "Tenant scale-up",
             leap_bench::fig_tenants(&[2, 4, 8], 2_000),
         ),
+        ("Leap under churn", leap_bench::fig_churn()),
     ];
     for (name, report) in reports {
         println!("==================== {name} ====================");

@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! cargo run --release -p leap-bench --bin perf_harness -- [--quick] \
-//!     [--cores N] [--out PATH] [--trace LOG]... [--tenants N]
+//!     [--cores N] [--out PATH] [--trace LOG]... [--tenants N] \
+//!     [--fault-plan PLAN.json]
 //! ```
 //!
 //! `--quick` shrinks the traces for CI smoke runs. `--trace LOG`
@@ -24,15 +25,23 @@
 //! modes, asserts the two modes' per-tenant QoS reports are bit-identical,
 //! and emits a `tenants` section with one row per tenant.
 //!
-//! Schema note: `leap-replay-bench/3` adds the optional top-level
-//! `tenants` key (null unless `--tenants` was passed) to
-//! `leap-replay-bench/2`; nothing else changed, so `/2` consumers that
-//! ignore unknown keys read `/3` files unmodified.
+//! `--fault-plan PLAN.json` installs a fault-injection spec (the JSON that
+//! `leap::FaultSpec::to_json` emits — see `tests/fixtures/storm_plan.json`)
+//! into every workload replay, so churn runs land in `BENCH_replay.json`
+//! with their fault accounting; the serial/threaded identity assertion then
+//! covers the fault checksums too.
+//!
+//! Schema note: `leap-replay-bench/4` adds the optional top-level `faults`
+//! key (null unless `--fault-plan` was passed) to `leap-replay-bench/3`,
+//! which itself added the optional `tenants` key to `/2`; nothing else
+//! changed, so `/3` consumers that ignore unknown keys read `/4` files
+//! unmodified.
 
 use std::time::Instant;
 
 use leap::prelude::*;
 use leap::stage_timing::{self, StageBreakdown};
+use leap::FaultSpec;
 use leap_bench::tenant_figures;
 use leap_bench::{TraceSource, EXPERIMENT_SEED};
 use leap_service::ServiceReport;
@@ -67,13 +76,14 @@ struct WorkloadRow {
     identical: bool,
 }
 
-fn config(cores: usize, mode: ReplayMode) -> SimConfig {
+fn config(cores: usize, mode: ReplayMode, fault: FaultSpec) -> SimConfig {
     SimConfig::builder()
         .memory_fraction(0.5)
         .cores(cores)
         .sched_quantum(Nanos::from_micros(500))
         .seed(EXPERIMENT_SEED)
         .replay_mode(mode)
+        .fault_plan(fault)
         .build()
         .expect("valid harness config")
 }
@@ -84,13 +94,14 @@ fn measure(
     cores: usize,
     mode: ReplayMode,
     repeats: usize,
+    fault: FaultSpec,
 ) -> ModeMeasurement {
     let accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
     let mut best_ms = f64::INFINITY;
     let mut last = None;
     stage_timing::reset();
     for _ in 0..repeats.max(1) {
-        let sim = VmmSimulator::new(config(cores, mode));
+        let sim = VmmSimulator::new(config(cores, mode, fault));
         let start = Instant::now();
         let result = sim.run_multi(traces);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
@@ -124,6 +135,7 @@ fn results_identical(a: &mut RunResult, b: &mut RunResult) -> bool {
         && a.remote_access_latency.sorted_samples() == b.remote_access_latency.sorted_samples()
         && a.allocation_wait.sorted_samples() == b.allocation_wait.sorted_samples()
         && a.eviction_wait.sorted_samples() == b.eviction_wait.sorted_samples()
+        && a.fault_stats == b.fault_stats
 }
 
 /// One replay mode's wall-clock measurement of the tenant service run.
@@ -172,10 +184,11 @@ fn run_workload(
     traces: Vec<AccessTrace>,
     cores: usize,
     repeats: usize,
+    fault: FaultSpec,
 ) -> WorkloadRow {
     let accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
-    let mut serial = measure(&traces, cores, ReplayMode::Serial, repeats);
-    let mut threaded = measure(&traces, cores, ReplayMode::Threaded, repeats);
+    let mut serial = measure(&traces, cores, ReplayMode::Serial, repeats, fault);
+    let mut threaded = measure(&traces, cores, ReplayMode::Threaded, repeats, fault);
     // Both modes must agree on the full simulated outcome (every counter
     // and the exact latency distributions) — this doubles as a determinism
     // smoke check on every harness run.
@@ -266,6 +279,24 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let fault_plan_path = args
+        .iter()
+        .position(|a| a == "--fault-plan")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let fault = fault_plan_path
+        .as_deref()
+        .map(|path| {
+            let contents = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("failed to read fault plan {path}: {e}");
+                std::process::exit(2);
+            });
+            FaultSpec::from_json(&contents).unwrap_or_else(|e| {
+                eprintln!("invalid fault plan {path}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(FaultSpec::none());
 
     let (app_accesses, synth_accesses, repeats) = if quick {
         (10_000, 20_000, 2)
@@ -303,9 +334,22 @@ fn main() {
                 eprintln!("failed to load {}: {e}", source.label());
                 std::process::exit(2);
             });
-            run_workload(source.label(), traces, cores, repeats)
+            run_workload(source.label(), traces, cores, repeats, fault)
         })
         .collect();
+
+    if fault.is_active() {
+        println!(
+            "fault plan: {} spikes, {} degraded epochs, {} machine failures, {} storms over \
+             [{} ns, {} ns)",
+            fault.latency_spikes,
+            fault.degraded_epochs,
+            fault.machine_failures,
+            fault.reconnect_storms,
+            fault.start.as_nanos(),
+            fault.horizon.as_nanos(),
+        );
+    }
 
     println!(
         "{:<16} {:>9} {:>12} {:>12} {:>14} {:>14} {:>8} {:>6}",
@@ -446,14 +490,51 @@ fn main() {
             )
         })
         .collect();
-    // Schema /3 = /2 plus the optional `tenants` key (see module docs).
+    // The churn section: the spec that was injected plus each workload's
+    // fault accounting from the serial run (the threaded run is asserted
+    // bit-identical above, so one copy suffices).
+    let faults_section = fault.is_active().then(|| {
+        let fault_rows: Vec<String> = rows
+            .iter()
+            .map(|row| {
+                let f = &row.serial.result.fault_stats;
+                format!(
+                    concat!(
+                        "{{\"name\":\"{}\",\"spiked_requests\":{},",
+                        "\"degraded_requests\":{},\"reconnect_requests\":{},",
+                        "\"machines_failed\":{},\"cancelled_requests\":{},",
+                        "\"slabs_rereplicated\":{},\"slabs_lost\":{},",
+                        "\"reconstruction_cost_ns\":{},\"checksum\":\"{:#018x}\"}}"
+                    ),
+                    row.name,
+                    f.spiked_requests,
+                    f.degraded_requests,
+                    f.reconnect_requests,
+                    f.machines_failed,
+                    f.cancelled_requests,
+                    f.slabs_rereplicated,
+                    f.slabs_lost,
+                    f.reconstruction_cost_total.as_nanos(),
+                    f.checksum,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"spec\":{},\"rows\":[{}]}}",
+            fault.to_json(),
+            fault_rows.join(","),
+        )
+    });
+
+    // Schema /4 = /3 plus the optional `faults` key (see module docs).
     let json = format!(
         concat!(
-            "{{\"schema\":\"leap-replay-bench/3\",\"quick\":{},",
+            "{{\"schema\":\"leap-replay-bench/4\",\"quick\":{},",
             "\"shards\":{},\"host_cores\":{},\"peak_rss_kb\":{},",
             "\"stage_timing\":{},",
             "\"workloads\":[{}],",
-            "\"tenants\":{}}}\n"
+            "\"tenants\":{},",
+            "\"faults\":{}}}\n"
         ),
         quick,
         cores,
@@ -462,6 +543,7 @@ fn main() {
         stage_timing::ENABLED,
         workloads_json.join(","),
         tenant_section.unwrap_or_else(|| "null".to_string()),
+        faults_section.unwrap_or_else(|| "null".to_string()),
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path} (peak RSS {} kB)", peak_rss_kb());

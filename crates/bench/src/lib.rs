@@ -15,10 +15,12 @@
 //! paper-vs-measured comparison.
 
 pub mod app_figures;
+pub mod churn_figures;
 pub mod micro_figures;
 pub mod tenant_figures;
 pub mod trace_source;
 
+pub use churn_figures::fig_churn;
 pub use tenant_figures::fig_tenants;
 pub use trace_source::TraceSource;
 

@@ -197,6 +197,10 @@ impl DataPath for LeanDataPath {
     fn name(&self) -> &'static str {
         "leap"
     }
+
+    fn fault_stats(&self) -> leap_remote::FaultInjectionStats {
+        self.agent.fault_stats()
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! batching stages vary enough to pull the average far from the median.
 
 use crate::stages::{DataPath, PathLatency, Stage};
-use leap_remote::{BackendKind, DispatchQueues, StorageBackend};
+use leap_remote::{BackendKind, DispatchQueues, FaultInjectionStats, FaultPlan, StorageBackend};
 use leap_sim_core::{DetRng, LatencySampler, LogNormalLatency, Nanos};
 
 /// Latency parameters for the legacy path's software stages.
@@ -74,6 +74,11 @@ pub struct LegacyDataPath {
     rng: DetRng,
     reads: u64,
     writes: u64,
+    /// Installed fault schedule (empty by default). The legacy path has no
+    /// remote cluster, so only the epoch faults — latency spikes, degraded
+    /// bandwidth, reconnect storms — apply; machine failures do not.
+    fault_plan: FaultPlan,
+    fault_stats: FaultInjectionStats,
 }
 
 impl LegacyDataPath {
@@ -111,12 +116,50 @@ impl LegacyDataPath {
             rng,
             reads: 0,
             writes: 0,
+            fault_plan: FaultPlan::empty(),
+            fault_stats: FaultInjectionStats::default(),
         }
     }
 
     /// Replaces the device model (useful for deterministic tests).
     pub fn set_backend(&mut self, backend: StorageBackend) {
         self.backend = backend;
+    }
+
+    /// Installs a fault schedule; the empty plan (the default) reproduces
+    /// healthy runs bit-for-bit. Only epoch faults apply here — the legacy
+    /// path models a local block device, not a failing remote cluster — so
+    /// D-VMM and Leap face the same latency churn in comparisons.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Applies the fault modifiers in force at `now` to a sampled device
+    /// transfer, counting affected requests.
+    fn apply_faults(&mut self, transfer: Nanos, now: Nanos) -> Nanos {
+        let mods = self.fault_plan.modifiers_at(now);
+        if mods.is_identity() {
+            return transfer;
+        }
+        let mut transfer = leap_remote::fault::scale_latency_milli(transfer, mods.multiplier_milli);
+        if mods.spike_active {
+            self.fault_stats.spiked_requests += 1;
+            self.fault_stats.record(0x5b1c_e000u64 ^ now.as_nanos());
+        }
+        if mods.degraded_active {
+            self.fault_stats.degraded_requests += 1;
+            self.fault_stats.record(0xde64_ade0u64 ^ now.as_nanos());
+        }
+        if !mods.reconnect_penalty.is_zero() {
+            transfer = transfer.saturating_add(mods.reconnect_penalty);
+            self.fault_stats.reconnect_requests += 1;
+            self.fault_stats.reconnect_penalty_total = self
+                .fault_stats
+                .reconnect_penalty_total
+                .saturating_add(mods.reconnect_penalty);
+            self.fault_stats.record(0x4ec0_44ecu64 ^ now.as_nanos());
+        }
+        transfer
     }
 
     /// The stage parameters in use.
@@ -149,6 +192,7 @@ impl DataPath for LegacyDataPath {
         let mut breakdown = PathLatency::new();
         self.software_stages(&mut breakdown);
         let transfer = self.backend.read_latency(&mut self.rng);
+        let transfer = self.apply_faults(transfer, now);
         let outcome = self.device_queues.dispatch(core, now, transfer);
         breakdown.push(Stage::QueueingAndBatching, outcome.queueing_delay);
         breakdown.push(Stage::DeviceTransfer, transfer);
@@ -161,6 +205,7 @@ impl DataPath for LegacyDataPath {
         let mut breakdown = PathLatency::new();
         self.software_stages(&mut breakdown);
         let transfer = self.backend.write_latency(&mut self.rng);
+        let transfer = self.apply_faults(transfer, now);
         let outcome = self.device_queues.dispatch(core, now, transfer);
         breakdown.push(Stage::QueueingAndBatching, outcome.queueing_delay);
         breakdown.push(Stage::DeviceTransfer, transfer);
@@ -169,6 +214,10 @@ impl DataPath for LegacyDataPath {
 
     fn name(&self) -> &'static str {
         "linux-default"
+    }
+
+    fn fault_stats(&self) -> FaultInjectionStats {
+        self.fault_stats
     }
 }
 
@@ -262,5 +311,50 @@ mod tests {
     fn name_is_stable() {
         let path = LegacyDataPath::new(BackendKind::Rdma, DetRng::seed_from(0));
         assert_eq!(path.name(), "linux-default");
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_healthy_breakdowns() {
+        let mut healthy = LegacyDataPath::new(BackendKind::Rdma, DetRng::seed_from(21));
+        let mut faulted = LegacyDataPath::new(BackendKind::Rdma, DetRng::seed_from(21));
+        faulted.install_fault_plan(FaultPlan::empty());
+        for i in 0..200u64 {
+            let now = Nanos::from_micros(3 * i);
+            assert_eq!(healthy.read_page(i, 0, now), faulted.read_page(i, 0, now));
+        }
+        assert!(faulted.fault_stats().is_quiet());
+    }
+
+    #[test]
+    fn latency_spikes_stretch_the_device_transfer() {
+        use leap_remote::FaultSpec;
+
+        let spec = FaultSpec {
+            latency_spikes: 1,
+            spike_multiplier_milli: 4000,
+            epoch: Nanos::from_millis(100),
+            start: Nanos::ZERO,
+            horizon: Nanos::from_millis(1),
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::from_spec(9, &spec, 0);
+        let mut healthy = LegacyDataPath::new(BackendKind::Rdma, DetRng::seed_from(33));
+        let mut faulted = LegacyDataPath::new(BackendKind::Rdma, DetRng::seed_from(33));
+        faulted.install_fault_plan(plan);
+        // Sample inside the spike epoch: the faulted path's device transfer
+        // must be exactly 4x the healthy one while software stages match.
+        let now = Nanos::from_millis(50);
+        let h = healthy.read_page(0, 0, now);
+        let f = faulted.read_page(0, 0, now);
+        assert_eq!(
+            f.stage_total(Stage::DeviceTransfer).as_nanos(),
+            h.stage_total(Stage::DeviceTransfer).as_nanos() * 4
+        );
+        assert_eq!(
+            f.stage_total(Stage::BioPreparation),
+            h.stage_total(Stage::BioPreparation)
+        );
+        assert_eq!(faulted.fault_stats().spiked_requests, 1);
+        assert!(!faulted.fault_stats().is_quiet());
     }
 }

@@ -185,6 +185,12 @@ pub trait DataPath: Send + std::fmt::Debug {
 
     /// A short name for reports ("linux-default" or "leap").
     fn name(&self) -> &'static str;
+
+    /// Fault-injection accounting for this path. Paths without a fault
+    /// layer report the quiet default (no faults observed).
+    fn fault_stats(&self) -> leap_remote::FaultInjectionStats {
+        leap_remote::FaultInjectionStats::default()
+    }
 }
 
 #[cfg(test)]

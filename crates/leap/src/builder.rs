@@ -254,6 +254,19 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Installs a fault-injection spec for the remote tier. The spec is
+    /// expanded into a concrete [`leap_remote::FaultPlan`] from
+    /// `(seed, spec)` when the data path is built, so the same seed always
+    /// schedules the same faults in either replay mode. Validated for
+    /// consistency at build time; [`FaultSpec::none`] (the default) keeps
+    /// the fabric healthy.
+    ///
+    /// [`FaultSpec::none`]: leap_remote::FaultSpec::none
+    pub fn fault_plan(mut self, spec: leap_remote::FaultSpec) -> Self {
+        self.config.fault = spec;
+        self
+    }
+
     /// Replaces the component registry consulted by the `*_named` selectors
     /// (defaults to [`ComponentRegistry::builtin`]).
     pub fn registry(mut self, registry: ComponentRegistry) -> Self {

@@ -28,7 +28,7 @@ use leap_prefetcher::{
     LeapConfig, LeapPrefetcher, NextNLinePrefetcher, NoPrefetcher, Prefetcher, PrefetcherKind,
     ReadAheadPrefetcher, StridePrefetcher,
 };
-use leap_remote::{ConstLatencyOverride, HostAgent, HostAgentConfig, RemoteCluster};
+use leap_remote::{ConstLatencyOverride, FaultPlan, HostAgent, HostAgentConfig, RemoteCluster};
 use leap_sim_core::DetRng;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -127,6 +127,11 @@ impl DataPathFactory for LegacyDataPathFactory {
         if let Some(overrides) = backend_override(config) {
             path.set_backend(overrides.into_backend(config.backend));
         }
+        if config.fault.is_active() {
+            // machine_count 0: the block-layer path has no remote cluster,
+            // so it sees the epoch faults but never machine failures.
+            path.install_fault_plan(FaultPlan::from_spec(config.seed, &config.fault, 0));
+        }
         Box::new(path)
     }
 }
@@ -155,6 +160,14 @@ impl DataPathFactory for LeanDataPathFactory {
         if let Some(overrides) = backend_override(config) {
             path.agent_mut()
                 .set_backend(overrides.into_backend(config.backend));
+        }
+        if config.fault.is_active() {
+            let machines = path.agent().cluster().len() as u32;
+            path.agent_mut().install_fault_plan(FaultPlan::from_spec(
+                config.seed,
+                &config.fault,
+                machines,
+            ));
         }
         Box::new(path)
     }

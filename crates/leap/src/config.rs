@@ -11,7 +11,7 @@
 use crate::builder::SimConfigBuilder;
 use crate::error::ConfigError;
 use leap_prefetcher::PrefetcherKind;
-use leap_remote::BackendKind;
+use leap_remote::{BackendKind, FaultSpec};
 use leap_sim_core::Nanos;
 use serde::{Deserialize, Serialize};
 
@@ -179,6 +179,12 @@ pub struct SimConfig {
     /// Overrides the backend's 4 KB write latency with a constant; `None`
     /// keeps the paper-calibrated distribution.
     pub backend_write_latency: Option<Nanos>,
+    /// Fault-injection spec for the remote tier
+    /// ([`FaultSpec::none`] by default, a healthy fabric). Expanded into a
+    /// concrete [`leap_remote::FaultPlan`] from `(seed, fault)` when the
+    /// data path is built; set via
+    /// [`fault_plan`](crate::SimConfigBuilder::fault_plan).
+    pub fault: FaultSpec,
 }
 
 /// Upper bound accepted for [`SimConfig::context_switch_cost`]. Real context
@@ -219,6 +225,7 @@ impl SimConfig {
             seed: 42,
             backend_read_latency: None,
             backend_write_latency: None,
+            fault: FaultSpec::none(),
         }
     }
 
@@ -287,6 +294,9 @@ impl SimConfig {
         if self.backend_write_latency == Some(Nanos::ZERO) {
             return Err(ConfigError::ZeroBackendLatency { which: "write" });
         }
+        self.fault
+            .validate()
+            .map_err(|reason| ConfigError::InvalidFaultSpec { reason })?;
         Ok(())
     }
 
@@ -333,7 +343,8 @@ impl SimConfig {
                 "\"async_depth\":{},",
                 "\"seed\":{},",
                 "\"backend_read_latency_ns\":{},",
-                "\"backend_write_latency_ns\":{}",
+                "\"backend_write_latency_ns\":{},",
+                "{}",
                 "}}"
             ),
             self.prefetcher.label(),
@@ -353,6 +364,7 @@ impl SimConfig {
             self.seed,
             opt_nanos(self.backend_read_latency),
             opt_nanos(self.backend_write_latency),
+            self.fault.to_json_fields(),
         )
     }
 
@@ -446,7 +458,17 @@ impl SimConfig {
                 "backend_write_latency_ns" => {
                     config.backend_write_latency = parse_opt_nanos(value)?;
                 }
-                other => return Err(ConfigError::Parse(format!("unknown key {other:?}"))),
+                other => {
+                    // `fault_*` keys are parsed by the spec itself, so the
+                    // fault schema lives in one place (crates/remote).
+                    let consumed = config
+                        .fault
+                        .apply_json_field(other, value)
+                        .map_err(ConfigError::Parse)?;
+                    if !consumed {
+                        return Err(ConfigError::Parse(format!("unknown key {other:?}")));
+                    }
+                }
             }
         }
         config.validate()?;
@@ -595,6 +617,35 @@ mod tests {
             let parsed = SimConfig::from_json(&config.to_json()).unwrap();
             assert_eq!(parsed, config);
         }
+    }
+
+    #[test]
+    fn fault_spec_rides_the_config_json() {
+        let config = SimConfig::leap_defaults()
+            .to_builder()
+            .fault_plan(FaultSpec::canonical_storm())
+            .build()
+            .unwrap();
+        assert!(config.fault.is_active());
+        let parsed = SimConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(parsed, config);
+        assert_eq!(parsed.fault, FaultSpec::canonical_storm());
+        // Old configs without fault keys still parse, defaulting to healthy.
+        let healthy = SimConfig::from_json(&SimConfig::linux_defaults().to_json()).unwrap();
+        assert_eq!(healthy.fault, FaultSpec::none());
+    }
+
+    #[test]
+    fn invalid_fault_spec_is_rejected_at_validation() {
+        let mut bad = FaultSpec::canonical_storm();
+        bad.horizon = bad.start;
+        let err = SimConfig::leap_defaults()
+            .to_builder()
+            .fault_plan(bad)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidFaultSpec { .. }));
+        assert!(err.to_string().contains("fault"));
     }
 
     #[test]

@@ -681,6 +681,7 @@ impl EngineCore {
     pub fn seal_pipeline(&mut self) {
         self.pipeline.drain();
         self.result.pipeline = *self.pipeline.stats();
+        self.result.fault_stats = self.data_path.fault_stats();
     }
 
     /// Finishes the run.

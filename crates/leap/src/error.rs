@@ -70,6 +70,12 @@ pub enum ConfigError {
         /// `"eviction"`.
         role: &'static str,
     },
+    /// The fault-injection spec is inconsistent (see
+    /// [`leap_remote::FaultSpec::validate`]).
+    InvalidFaultSpec {
+        /// What the fault spec got wrong.
+        reason: &'static str,
+    },
     /// A serialized config could not be parsed.
     Parse(String),
 }
@@ -110,6 +116,9 @@ impl fmt::Display for ConfigError {
                 "a custom/named {role} selection is pending; build_setup() \
                  (or build_vmm()/build_vfs()) must be used so it is not dropped"
             ),
+            ConfigError::InvalidFaultSpec { reason } => {
+                write!(f, "invalid fault spec: {reason}")
+            }
             ConfigError::Parse(msg) => write!(f, "config parse error: {msg}"),
         }
     }

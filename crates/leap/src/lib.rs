@@ -98,6 +98,8 @@ pub use tracker::PageAccessTracker;
 pub use vfs::VfsSimulator;
 pub use vmm::VmmSimulator;
 
+pub use leap_remote::{FaultInjectionStats, FaultPlan, FaultSpec};
+
 /// Commonly used items, re-exported for examples and experiment binaries.
 pub mod prelude {
     pub use crate::builder::{SimConfigBuilder, SimSetup};
@@ -118,7 +120,7 @@ pub mod prelude {
     pub use crate::vfs::VfsSimulator;
     pub use crate::vmm::VmmSimulator;
     pub use leap_prefetcher::PrefetcherKind;
-    pub use leap_remote::BackendKind;
+    pub use leap_remote::{BackendKind, FaultInjectionStats, FaultPlan, FaultSpec};
     pub use leap_sim_core::Nanos;
     pub use leap_workloads::{AppKind, AppModel};
 }

@@ -2,6 +2,7 @@
 
 use crate::pipeline::PipelineStats;
 use leap_metrics::{CacheStats, LatencyHistogram, PrefetchStats};
+use leap_remote::FaultInjectionStats;
 use leap_sim_core::Nanos;
 use std::collections::BTreeMap;
 
@@ -48,6 +49,11 @@ pub struct RunResult {
     /// Async request/completion pipeline counters (prefetch reads,
     /// write-backs, budget stall); merged across shards.
     pub pipeline: PipelineStats,
+    /// Fault-injection accounting: requests hit by latency spikes, degraded
+    /// bandwidth or reconnect storms, machines failed, slabs re-replicated,
+    /// and an order-sensitive per-shard checksum merged commutatively across
+    /// shards. Quiet (all-zero) when no fault plan was installed.
+    pub fault_stats: FaultInjectionStats,
     /// Swap-outs attributed per tenant (`pid.0` → pages evicted from that
     /// tenant's residency), keyed with a `BTreeMap` so iteration — and
     /// therefore any report built from it — is deterministic.
@@ -112,6 +118,7 @@ impl RunResult {
         self.eviction_wait.merge(&shard.eviction_wait);
         self.allocation_wait.merge(&shard.allocation_wait);
         self.pipeline.merge(&shard.pipeline);
+        self.fault_stats.merge(&shard.fault_stats);
         for (pid, pages) in shard.tenant_evictions {
             *self.tenant_evictions.entry(pid).or_insert(0) += pages;
         }

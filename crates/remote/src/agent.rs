@@ -8,8 +8,14 @@
 
 use crate::backend::{BackendKind, StorageBackend};
 use crate::dispatch::DispatchQueues;
-use crate::slab::{MachineId, RemoteCluster, SlabMap, DEFAULT_SLAB_BYTES};
+use crate::fault::{FaultInjectionStats, FaultPlan};
+use crate::slab::{MachineId, RemoteCluster, SlabId, SlabMap, DEFAULT_SLAB_BYTES};
 use leap_sim_core::{DetRng, Nanos};
+
+/// Pages copied from a surviving replica when one lost copy is rebuilt.
+const REREPLICATION_PAGES: u64 = 64;
+/// Pages re-fetched from the durable tier when every replica is lost.
+const FULL_RECOVERY_PAGES: u64 = 256;
 
 /// Whether a remote I/O is a read (page-in) or a write (page-out).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +89,17 @@ pub struct HostAgent {
     rng: DetRng,
     reads: u64,
     writes: u64,
+    /// The installed fault schedule; empty by default (healthy fabric).
+    plan: FaultPlan,
+    /// Cursor into `plan.failures()`: failures at or before the current
+    /// request time have been applied.
+    next_failure: usize,
+    /// Accounting for every fault the agent observed.
+    fault_stats: FaultInjectionStats,
+    /// Reconstruction cost accrued by slab repairs, charged to the transport
+    /// latency of the next request (the repair stalls the fabric, and the
+    /// next page access pays for it).
+    pending_reconstruction: Nanos,
 }
 
 impl HostAgent {
@@ -102,12 +119,34 @@ impl HostAgent {
             rng,
             reads: 0,
             writes: 0,
+            plan: FaultPlan::empty(),
+            next_failure: 0,
+            fault_stats: FaultInjectionStats::default(),
+            pending_reconstruction: Nanos::ZERO,
         }
     }
 
     /// Replaces the backend latency model (useful for tests and ablations).
     pub fn set_backend(&mut self, backend: StorageBackend) {
         self.backend = backend;
+    }
+
+    /// Installs a fault schedule. The empty plan (the default) reproduces
+    /// healthy runs bit-for-bit: no RNG stream is perturbed and no fault
+    /// branch fires.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.next_failure = 0;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Fault-injection accounting for this agent.
+    pub fn fault_stats(&self) -> FaultInjectionStats {
+        self.fault_stats
     }
 
     /// The agent configuration.
@@ -131,25 +170,122 @@ impl HostAgent {
     }
 
     /// Ensures the slab containing `page_offset` is mapped, placing it with
-    /// the power of two choices (plus replicas) if needed.
+    /// the power of two choices (plus replicas) if needed. A slab whose
+    /// placement includes a failed machine is repaired first (failover to a
+    /// survivor + deterministic re-replication).
     ///
     /// Returns the primary machine, or `None` if the cluster is out of slab
     /// capacity.
     pub fn ensure_mapped(&mut self, page_offset: u64) -> Option<MachineId> {
         let slab = self.slab_map.slab_of_page(page_offset);
-        if let Some(machines) = self.slab_map.machines_of(slab) {
-            return machines.first().copied();
+        match self.slab_map.machines_of(slab) {
+            Some(machines) => {
+                if machines.iter().all(|&m| !self.cluster.is_failed(m)) {
+                    return machines.first().copied();
+                }
+                self.repair_slab(slab)
+            }
+            None => {
+                let placements = self.place_slab()?;
+                let primary = placements.first().copied();
+                self.slab_map.place(slab, placements);
+                primary
+            }
         }
-        let placements = self.place_slab()?;
+    }
+
+    /// Repairs a slab whose placement references at least one failed
+    /// machine: surviving copies are kept (the first survivor becomes the
+    /// primary) and each lost copy is re-replicated onto the least-loaded
+    /// alive machine — a deterministic choice, so no RNG stream moves. If
+    /// every copy was lost, the slab is re-placed from scratch and its pages
+    /// are charged the (much larger) durable-tier recovery cost.
+    ///
+    /// The repaired placement only references alive machines, so subsequent
+    /// requests take the fast path again: each failure repairs a slab at
+    /// most once.
+    fn repair_slab(&mut self, slab: SlabId) -> Option<MachineId> {
+        let old = self.slab_map.machines_of(slab)?.to_vec();
+        let survivors: Vec<MachineId> = old
+            .iter()
+            .copied()
+            .filter(|&m| !self.cluster.is_failed(m))
+            .collect();
+        let lost = old.len() - survivors.len();
+        let nominal = self.backend.nominal_read_latency();
+
+        let (placements, cost) = if survivors.is_empty() {
+            // Every replica died: recover the slab from the durable tier.
+            let placements = self.place_slab()?;
+            self.fault_stats.slabs_lost += 1;
+            self.fault_stats
+                .record(0x51ab_1057u64 ^ slab.0.rotate_left(17));
+            let cost = Nanos::from_nanos(nominal.as_nanos().saturating_mul(FULL_RECOVERY_PAGES));
+            (placements, cost)
+        } else {
+            // Failover: survivors stay, first survivor is promoted primary;
+            // lost copies are rebuilt from a survivor.
+            let mut placements = survivors;
+            for _ in 0..lost {
+                match self.least_loaded_alive_excluding(&placements) {
+                    Some(idx) => match self.cluster.host_slab_on(idx) {
+                        Some(id) => placements.push(id),
+                        None => break,
+                    },
+                    // No spare machine: degrade replication rather than fail.
+                    None => break,
+                }
+            }
+            self.fault_stats.slabs_rereplicated += 1;
+            self.fault_stats
+                .record(0x5e9e_9a7eu64 ^ slab.0.rotate_left(9));
+            let cost = Nanos::from_nanos(
+                nominal
+                    .as_nanos()
+                    .saturating_mul(REREPLICATION_PAGES * lost as u64),
+            );
+            (placements, cost)
+        };
+
+        self.fault_stats.reconstruction_cost_total = self
+            .fault_stats
+            .reconstruction_cost_total
+            .saturating_add(cost);
+        self.pending_reconstruction = self.pending_reconstruction.saturating_add(cost);
         let primary = placements.first().copied();
         self.slab_map.place(slab, placements);
         primary
     }
 
-    /// Places one slab: the primary via the power of two choices, replicas on
-    /// the least-loaded remaining machines.
+    /// The least-loaded alive machine whose id is not in `exclude`, if any.
+    fn least_loaded_alive_excluding(&self, exclude: &[MachineId]) -> Option<usize> {
+        (0..self.cluster.len())
+            .filter_map(|i| {
+                let m = self.cluster.machine(i)?;
+                if m.is_failed() || m.is_full() || exclude.contains(&m.id()) {
+                    return None;
+                }
+                Some((m.hosted_slabs(), i))
+            })
+            .min()
+            .map(|(_, i)| i)
+    }
+
+    /// Places one slab: the primary via the power of two choices over the
+    /// alive machines, replicas on the least-loaded remaining ones.
     fn place_slab(&mut self) -> Option<Vec<MachineId>> {
-        let n = self.cluster.len();
+        // Only alive machines are placement candidates. On a healthy
+        // cluster this is the identity mapping, so the RNG draws below are
+        // bit-identical to a fault-free build.
+        let alive: Vec<usize> = (0..self.cluster.len())
+            .filter(|&i| {
+                self.cluster
+                    .machine(i)
+                    .map(|m| !m.is_failed())
+                    .unwrap_or(false)
+            })
+            .collect();
+        let n = alive.len();
         if n == 0 {
             return None;
         }
@@ -158,12 +294,12 @@ impl HostAgent {
         // Primary: power of two choices — sample two distinct machines and
         // keep the less loaded one (§4.5).
         let primary = if n == 1 {
-            0
+            alive[0]
         } else {
-            let a = self.rng.gen_range_usize(0, n);
-            let mut b = self.rng.gen_range_usize(0, n);
+            let a = alive[self.rng.gen_range_usize(0, n)];
+            let mut b = alive[self.rng.gen_range_usize(0, n)];
             while b == a {
-                b = self.rng.gen_range_usize(0, n);
+                b = alive[self.rng.gen_range_usize(0, n)];
             }
             let load = |i: usize| {
                 self.cluster
@@ -181,7 +317,11 @@ impl HostAgent {
 
         // Replicas: pick the least-loaded machines not already chosen.
         let replicas_needed = self.config.replication.saturating_sub(1).min(n - 1);
-        let mut candidates: Vec<usize> = (0..n).filter(|i| !chosen.contains(i)).collect();
+        let mut candidates: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|i| !chosen.contains(i))
+            .collect();
         candidates.sort_by_key(|&i| {
             self.cluster
                 .machine(i)
@@ -208,8 +348,39 @@ impl HostAgent {
         Some(ids)
     }
 
+    /// Applies every scheduled machine failure whose time has arrived. Each
+    /// failure kills the victim machine and cancels the in-flight tails on
+    /// all dispatch queues (the requests were travelling to a machine that
+    /// no longer exists); the queues clamp to `now`, never backwards.
+    fn apply_due_failures(&mut self, now: Nanos) {
+        while let Some(failure) = self.plan.failures().get(self.next_failure) {
+            if failure.at > now {
+                break;
+            }
+            let failure = *failure;
+            self.next_failure += 1;
+            if self.cluster.fail_machine(failure.victim as usize).is_some() {
+                let cancelled = self.queues.cancel_in_flight(now);
+                self.fault_stats.machines_failed += 1;
+                self.fault_stats.cancelled_requests += cancelled;
+                self.fault_stats.record(
+                    0xdead_ac3du64
+                        ^ failure.at.as_nanos().rotate_left(5)
+                        ^ u64::from(failure.victim),
+                );
+            }
+        }
+    }
+
     /// Performs a remote read or write of the page at `page_offset`, issued
     /// from CPU `core` at time `now`.
+    ///
+    /// Scheduled faults whose virtual time has arrived are applied first:
+    /// machine failures (with slab failover and dispatch-queue
+    /// cancellation), then the latency modifiers of any active fault epoch.
+    /// With the empty plan every fault branch is dead and the request is
+    /// processed exactly as on a healthy fabric — same RNG draws, same
+    /// arithmetic, bit-identical results.
     ///
     /// Returns `None` only if the slab cannot be mapped (cluster full).
     pub fn remote_io(
@@ -219,17 +390,46 @@ impl HostAgent {
         core: usize,
         now: Nanos,
     ) -> Option<RemoteIoResult> {
+        if !self.plan.is_empty() {
+            self.apply_due_failures(now);
+        }
         let machine = self.ensure_mapped(page_offset)?;
-        let transport = match kind {
+        let mods = self.plan.modifiers_at(now);
+        let mut transport = match kind {
             RemoteIoKind::Read => {
                 self.reads += 1;
-                self.backend.read_latency(&mut self.rng)
+                self.backend
+                    .read_latency_scaled(&mut self.rng, mods.multiplier_milli)
             }
             RemoteIoKind::Write => {
                 self.writes += 1;
-                self.backend.write_latency(&mut self.rng)
+                self.backend
+                    .write_latency_scaled(&mut self.rng, mods.multiplier_milli)
             }
         };
+        if mods.spike_active {
+            self.fault_stats.spiked_requests += 1;
+            self.fault_stats.record(0x5b1c_e000u64 ^ now.as_nanos());
+        }
+        if mods.degraded_active {
+            self.fault_stats.degraded_requests += 1;
+            self.fault_stats.record(0xde64_ade0u64 ^ now.as_nanos());
+        }
+        if !mods.reconnect_penalty.is_zero() {
+            transport = transport.saturating_add(mods.reconnect_penalty);
+            self.fault_stats.reconnect_requests += 1;
+            self.fault_stats.reconnect_penalty_total = self
+                .fault_stats
+                .reconnect_penalty_total
+                .saturating_add(mods.reconnect_penalty);
+            self.fault_stats.record(0x4ec0_44ecu64 ^ now.as_nanos());
+        }
+        if !self.pending_reconstruction.is_zero() {
+            // The request that triggered (or immediately follows) a slab
+            // repair pays the reconstruction stall.
+            let repair = std::mem::replace(&mut self.pending_reconstruction, Nanos::ZERO);
+            transport = transport.saturating_add(repair);
+        }
         let outcome = self.queues.dispatch(core, now, transport);
         Some(RemoteIoResult {
             machine,
@@ -348,6 +548,141 @@ mod tests {
         assert!(r.is_some());
         // Replication degrades to one copy because there is only one machine.
         assert_eq!(agent.cluster().machine(0).unwrap().hosted_slabs(), 1);
+    }
+
+    #[test]
+    fn failed_machine_triggers_failover_to_survivor() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(4, 16), 2);
+        agent.set_backend(StorageBackend::constant(
+            BackendKind::Rdma,
+            Nanos::from_micros(4),
+        ));
+        let primary = agent.ensure_mapped(0).unwrap();
+        // Kill the primary; the slab must fail over to the surviving replica
+        // and re-replicate exactly once.
+        let victim_idx = primary.0 as usize;
+        assert!(agent.cluster.fail_machine(victim_idx).is_some());
+        let new_primary = agent.ensure_mapped(0).expect("failover succeeds");
+        assert_ne!(new_primary, primary);
+        assert!(!agent.cluster().is_failed(new_primary));
+        assert_eq!(agent.fault_stats().slabs_rereplicated, 1);
+        assert_eq!(agent.fault_stats().slabs_lost, 0);
+        // Repaired placement references only alive machines, so the next
+        // lookup takes the fast path and repairs nothing further.
+        let again = agent.ensure_mapped(1).unwrap();
+        assert_eq!(again, new_primary);
+        assert_eq!(
+            agent.fault_stats().slabs_rereplicated,
+            1,
+            "repair is exactly-once"
+        );
+        // The reconstruction cost lands on the next remote I/O.
+        let io = agent
+            .remote_io(RemoteIoKind::Read, 0, 0, Nanos::ZERO)
+            .unwrap();
+        assert!(io.transport_latency > Nanos::from_micros(4));
+        assert!(!agent.fault_stats().reconstruction_cost_total.is_zero());
+        let follow_up = agent
+            .remote_io(RemoteIoKind::Read, 1, 1, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(
+            follow_up.transport_latency,
+            Nanos::from_micros(4),
+            "reconstruction is charged once, not per request"
+        );
+    }
+
+    #[test]
+    fn losing_every_replica_recovers_from_durable_tier() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(3, 16), 1);
+        let primary = agent.ensure_mapped(0).unwrap();
+        assert!(agent.cluster.fail_machine(primary.0 as usize).is_some());
+        let new_primary = agent.ensure_mapped(0).expect("re-placement succeeds");
+        assert_ne!(new_primary, primary);
+        assert_eq!(agent.fault_stats().slabs_lost, 1);
+        assert_eq!(agent.fault_stats().slabs_rereplicated, 0);
+        // Full recovery is costlier than a single-copy rebuild.
+        let full = agent.fault_stats().reconstruction_cost_total;
+        assert!(full >= Nanos::from_nanos(BackendKind::Rdma.nominal_latency().as_nanos() * 256));
+    }
+
+    #[test]
+    fn placement_avoids_failed_machines() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(4, 64), 1);
+        assert!(agent.cluster.fail_machine(0).is_some());
+        assert!(agent.cluster.fail_machine(1).is_some());
+        let pages_per_slab = DEFAULT_SLAB_BYTES / PAGE_SIZE;
+        for slab in 0..20u64 {
+            let m = agent.ensure_mapped(slab * pages_per_slab).unwrap();
+            assert!(m == MachineId(2) || m == MachineId(3));
+        }
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let run = |install_empty: bool| {
+            let mut agent = agent_with(RemoteCluster::homogeneous(4, 16), 2);
+            if install_empty {
+                agent.install_fault_plan(FaultPlan::empty());
+            }
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                let io = agent
+                    .remote_io(
+                        RemoteIoKind::Read,
+                        i * 7,
+                        (i % 4) as usize,
+                        Nanos::from_nanos(i * 900),
+                    )
+                    .unwrap();
+                out.push((io.machine, io.queueing_delay, io.transport_latency));
+            }
+            (out, agent.fault_stats())
+        };
+        let (healthy, healthy_stats) = run(false);
+        let (empty_plan, empty_stats) = run(true);
+        assert_eq!(healthy, empty_plan, "empty plan must be invisible");
+        assert!(healthy_stats.is_quiet() && empty_stats.is_quiet());
+        assert_eq!(healthy_stats, empty_stats);
+    }
+
+    #[test]
+    fn scheduled_failure_applies_once_and_cancels_in_flight() {
+        use crate::fault::FaultSpec;
+        let spec = FaultSpec {
+            machine_failures: 1,
+            latency_spikes: 0,
+            spike_multiplier_milli: 0,
+            degraded_epochs: 0,
+            degraded_multiplier_milli: 0,
+            reconnect_storms: 0,
+            reconnect_penalty: Nanos::ZERO,
+            epoch: Nanos::from_micros(50),
+            start: Nanos::from_micros(10),
+            horizon: Nanos::from_micros(20),
+        };
+        let mut agent = agent_with(RemoteCluster::homogeneous(4, 16), 2);
+        agent.set_backend(StorageBackend::constant(
+            BackendKind::Rdma,
+            Nanos::from_micros(40),
+        ));
+        agent.install_fault_plan(FaultPlan::from_spec(7, &spec, 4));
+        assert_eq!(agent.fault_plan().failures().len(), 1);
+        // Before the failure time: healthy, and queue 0 goes busy until 40 µs.
+        let _ = agent
+            .remote_io(RemoteIoKind::Read, 0, 0, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(agent.fault_stats().machines_failed, 0);
+        // After the failure time the machine dies and the in-flight tail on
+        // queue 0 is cancelled (clamped to now, not to zero).
+        let now = Nanos::from_micros(25);
+        let _ = agent.remote_io(RemoteIoKind::Read, 1, 1, now).unwrap();
+        assert_eq!(agent.fault_stats().machines_failed, 1);
+        assert_eq!(agent.fault_stats().cancelled_requests, 1);
+        assert_eq!(agent.cluster().alive(), 3);
+        // Re-running past the failure applies nothing further.
+        let _ = agent.remote_io(RemoteIoKind::Read, 2, 2, Nanos::from_micros(30));
+        assert_eq!(agent.fault_stats().machines_failed, 1);
     }
 
     #[test]

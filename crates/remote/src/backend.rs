@@ -225,6 +225,22 @@ impl StorageBackend {
         self.write.sample(rng)
     }
 
+    /// Samples a read latency and scales it by a fault-epoch multiplier in
+    /// thousandths (`1000` = identity).
+    ///
+    /// The sample is always drawn, so the RNG stream advances identically
+    /// whether or not a fault epoch is active — the determinism contract for
+    /// empty fault plans depends on this.
+    pub fn read_latency_scaled(&self, rng: &mut DetRng, multiplier_milli: u64) -> Nanos {
+        crate::fault::scale_latency_milli(self.read.sample(rng), multiplier_milli)
+    }
+
+    /// Samples a write latency and scales it by a fault-epoch multiplier in
+    /// thousandths; see [`StorageBackend::read_latency_scaled`].
+    pub fn write_latency_scaled(&self, rng: &mut DetRng, multiplier_milli: u64) -> Nanos {
+        crate::fault::scale_latency_milli(self.write.sample(rng), multiplier_milli)
+    }
+
     /// The nominal (median) read latency of this backend.
     pub fn nominal_read_latency(&self) -> Nanos {
         self.read.nominal()
@@ -300,6 +316,28 @@ mod tests {
             assert_eq!(backend.read_latency(&mut rng), Nanos::from_micros(5));
             assert_eq!(backend.write_latency(&mut rng), Nanos::from_micros(5));
         }
+    }
+
+    #[test]
+    fn scaled_sampling_draws_the_same_stream() {
+        let backend = StorageBackend::rdma();
+        let mut healthy_rng = DetRng::seed_from(5);
+        let mut faulty_rng = DetRng::seed_from(5);
+        for i in 0..100 {
+            let base = backend.read_latency(&mut healthy_rng);
+            let multiplier = if i % 2 == 0 { 1_000 } else { 3_000 };
+            let scaled = backend.read_latency_scaled(&mut faulty_rng, multiplier);
+            if multiplier == 1_000 {
+                assert_eq!(scaled, base, "identity multiplier must not perturb");
+            } else {
+                assert_eq!(scaled.as_nanos(), base.as_nanos() * 3);
+            }
+        }
+        // Both streams advanced in lockstep.
+        assert_eq!(
+            backend.read_latency(&mut healthy_rng),
+            backend.read_latency(&mut faulty_rng)
+        );
     }
 
     #[test]

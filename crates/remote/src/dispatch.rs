@@ -96,6 +96,31 @@ impl DispatchQueues {
         self.busy_until[core % self.busy_until.len()]
     }
 
+    /// Cancels the in-flight tail of every queue at time `now`, as happens
+    /// when the machine serving those requests fails mid-run.
+    ///
+    /// Each queue that was busy past `now` becomes idle at exactly `now` —
+    /// never earlier. Clamping to `now` instead of calling [`reset`] keeps
+    /// the per-core clock monotonic: a request dispatched after the
+    /// cancellation can never start (or complete) before a previously
+    /// observed completion that already elapsed, and queues that were
+    /// already idle are left untouched. Dispatch counters are preserved;
+    /// cancelled work still happened, it just never completed.
+    ///
+    /// Returns the number of queues whose in-flight tail was cancelled.
+    ///
+    /// [`reset`]: DispatchQueues::reset
+    pub fn cancel_in_flight(&mut self, now: Nanos) -> u64 {
+        let mut cancelled = 0;
+        for busy in &mut self.busy_until {
+            if *busy > now {
+                *busy = now;
+                cancelled += 1;
+            }
+        }
+        cancelled
+    }
+
     /// Clears all queue state.
     pub fn reset(&mut self) {
         for b in &mut self.busy_until {
@@ -172,6 +197,71 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         let _ = DispatchQueues::new(0);
+    }
+
+    #[test]
+    fn cancel_in_flight_clamps_to_now_not_zero() {
+        let mut q = DispatchQueues::new(2);
+        let a = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(10));
+        assert_eq!(a.completes_at, Nanos::from_micros(10));
+        // Queue 1 is already idle; only queue 0 has an in-flight tail.
+        let now = Nanos::from_micros(4);
+        assert_eq!(q.cancel_in_flight(now), 1);
+        assert_eq!(q.idle_at(0), now, "cancelled queue becomes idle *now*");
+        assert_eq!(q.idle_at(1), Nanos::ZERO, "idle queue untouched");
+        assert_eq!(q.total_dispatched(), 1, "counters survive cancellation");
+    }
+
+    #[test]
+    fn cancel_in_flight_never_moves_idle_time_backwards() {
+        let mut q = DispatchQueues::new(1);
+        let first = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(5));
+        // The request completed at 5 µs; a failure observed later must not
+        // rewind the queue clock below the failure time.
+        let now = Nanos::from_micros(8);
+        assert_eq!(q.cancel_in_flight(now), 0);
+        assert_eq!(q.idle_at(0), first.completes_at);
+        let after = q.dispatch(0, now, Nanos::from_micros(1));
+        assert!(after.completes_at >= first.completes_at);
+    }
+
+    proptest! {
+        /// Interleaving dispatches with mid-run cancellations keeps every
+        /// queue's completion clock monotonically non-decreasing — the
+        /// regression the failed-slab cancellation path must never cause.
+        #[test]
+        fn prop_cancellation_keeps_per_core_clock_monotonic(
+            events in proptest::collection::vec((0u64..50_000, 1u64..20_000, 0usize..8), 1..80),
+        ) {
+            let mut q = DispatchQueues::new(2);
+            let mut now = Nanos::ZERO;
+            for (gap, service, action) in events {
+                now = now.saturating_add(Nanos::from_nanos(gap));
+                if action == 0 {
+                    // A failure cancels the in-flight tails at `now`: each
+                    // queue clock may only drop to `now`, never below it
+                    // (the reset()-style bug would rewind it to zero).
+                    let before = [q.idle_at(0), q.idle_at(1)];
+                    let _ = q.cancel_in_flight(now);
+                    for (core, &was) in before.iter().enumerate() {
+                        prop_assert!(q.idle_at(core) <= was);
+                        prop_assert!(
+                            q.idle_at(core) >= was.min(now),
+                            "queue clock rewound below the cancellation time"
+                        );
+                    }
+                } else {
+                    let core = action % 2;
+                    let idle_before = q.idle_at(core);
+                    let out = q.dispatch(core, now, Nanos::from_nanos(service));
+                    prop_assert!(out.completes_at >= now);
+                    prop_assert!(
+                        out.completes_at >= idle_before,
+                        "request completed before its queue went idle"
+                    );
+                }
+            }
+        }
     }
 
     proptest! {

@@ -14,13 +14,22 @@
 //!   offsets to `(machine, slab)` locations.
 //! - [`dispatch`]: per-core RDMA dispatch queues with queueing-delay
 //!   accounting.
+//! - [`fault`]: seeded, deterministic fault injection — latency-spike and
+//!   degraded-bandwidth epochs, mid-run machine failures with slab failover
+//!   and re-replication, and reconnect storms, all scheduled in virtual
+//!   time from a `(seed, spec)` pair.
 
 pub mod agent;
 pub mod backend;
 pub mod dispatch;
+pub mod fault;
 pub mod slab;
 
 pub use agent::{HostAgent, HostAgentConfig, RemoteIoKind, RemoteIoResult};
 pub use backend::{BackendKind, ConstLatencyOverride, StorageBackend};
 pub use dispatch::DispatchQueues;
+pub use fault::{
+    FaultEpoch, FaultEpochKind, FaultInjectionStats, FaultModifiers, FaultPlan, FaultSpec,
+    MachineFailure,
+};
 pub use slab::{RemoteCluster, RemoteMachine, SlabId, SlabMap, DEFAULT_SLAB_BYTES};

@@ -25,6 +25,7 @@ pub struct RemoteMachine {
     id: MachineId,
     capacity_slabs: u64,
     hosted_slabs: u64,
+    failed: bool,
 }
 
 impl RemoteMachine {
@@ -34,6 +35,7 @@ impl RemoteMachine {
             id,
             capacity_slabs,
             hosted_slabs: 0,
+            failed: false,
         }
     }
 
@@ -52,19 +54,32 @@ impl RemoteMachine {
         self.hosted_slabs
     }
 
-    /// Remaining slab capacity.
+    /// Remaining slab capacity (zero once the machine has failed).
     pub fn free_slabs(&self) -> u64 {
+        if self.failed {
+            return 0;
+        }
         self.capacity_slabs - self.hosted_slabs
     }
 
-    /// True if the machine cannot take another slab.
+    /// True if the machine cannot take another slab. A failed machine never
+    /// accepts placements.
     pub fn is_full(&self) -> bool {
-        self.hosted_slabs >= self.capacity_slabs
+        self.failed || self.hosted_slabs >= self.capacity_slabs
+    }
+
+    /// True once the machine has failed; its hosted slab copies are lost.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     fn host_one(&mut self) {
         debug_assert!(!self.is_full());
         self.hosted_slabs += 1;
+    }
+
+    fn fail(&mut self) {
+        self.failed = true;
     }
 }
 
@@ -125,6 +140,35 @@ impl RemoteCluster {
         }
         machine.host_one();
         Some(machine.id())
+    }
+
+    /// Fails the machine at `index`, losing every slab copy it hosted.
+    ///
+    /// Returns the machine's id, or `None` if the index is out of range or
+    /// the machine already failed (a failure event is applied exactly once).
+    pub fn fail_machine(&mut self, index: usize) -> Option<MachineId> {
+        let machine = self.machines.get_mut(index)?;
+        if machine.is_failed() {
+            return None;
+        }
+        machine.fail();
+        Some(machine.id())
+    }
+
+    /// True if the machine with the given id has failed. Unknown ids count
+    /// as failed: a placement pointing at a machine that no longer exists
+    /// must be repaired, not trusted.
+    pub fn is_failed(&self, id: MachineId) -> bool {
+        self.machines
+            .iter()
+            .find(|m| m.id() == id)
+            .map(|m| m.is_failed())
+            .unwrap_or(true)
+    }
+
+    /// Number of machines still alive.
+    pub fn alive(&self) -> usize {
+        self.machines.iter().filter(|m| !m.is_failed()).count()
     }
 
     /// The maximum difference in hosted slabs between any two machines —
@@ -261,6 +305,26 @@ mod tests {
     #[should_panic(expected = "at least one page")]
     fn tiny_slab_rejected() {
         let _ = SlabMap::new(PAGE_SIZE - 1);
+    }
+
+    #[test]
+    fn failed_machines_stop_accepting_slabs() {
+        let mut cluster = RemoteCluster::homogeneous(3, 4);
+        assert_eq!(cluster.alive(), 3);
+        assert!(!cluster.is_failed(MachineId(1)));
+        assert_eq!(cluster.fail_machine(1), Some(MachineId(1)));
+        assert!(cluster.is_failed(MachineId(1)));
+        assert_eq!(cluster.alive(), 2);
+        // Failure is applied exactly once.
+        assert_eq!(cluster.fail_machine(1), None);
+        // A failed machine is full and donates no free capacity.
+        assert!(cluster.machine(1).unwrap().is_full());
+        assert_eq!(cluster.machine(1).unwrap().free_slabs(), 0);
+        assert!(cluster.host_slab_on(1).is_none());
+        assert_eq!(cluster.total_free_slabs(), 8);
+        // Unknown machines count as failed.
+        assert!(cluster.is_failed(MachineId(99)));
+        assert_eq!(cluster.fail_machine(99), None);
     }
 
     proptest! {

@@ -49,6 +49,14 @@ impl ServiceReport {
 /// enforces the per-tenant budgets, and reports per-tenant QoS. The whole
 /// run is deterministic for a fixed `(SimConfig, tenant set)` — including
 /// across [`leap::ReplayMode`]s.
+///
+/// Fault injection rides the same config: a [`leap::FaultSpec`] set via
+/// `SimConfigBuilder::fault_plan` schedules latency spikes, degraded
+/// bandwidth, reconnect storms and machine failures inside every wave's
+/// replay. Each wave's [`WaveReport::result`] then carries the fault
+/// accounting (`result.fault_stats`), and tenants whose replay finishes
+/// before the first fault epoch keep the QoS checksums they report on a
+/// healthy fabric — churn degrades only the tenants it actually touches.
 #[derive(Debug, Clone)]
 pub struct FarMemoryService {
     sim: SimConfig,
@@ -205,6 +213,32 @@ mod tests {
             assert_eq!(wave.tenants.len(), 1);
             assert!(wave.tenants[0].1.accesses > 0);
         }
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic_and_counted() {
+        use leap::FaultSpec;
+
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .seed(11)
+            .fault_plan(FaultSpec::canonical_storm())
+            .build()
+            .unwrap();
+        let mut svc = FarMemoryService::new(config, 10_000, AdmissionPolicy::Reject);
+        svc.register(TenantSpec::new(sequential_trace(MIB, 3), 64));
+        let a = svc.run();
+        let b = svc.run();
+        let wave = &a.waves[0];
+        assert!(
+            !wave.result.fault_stats.is_quiet(),
+            "the storm plan must touch the wave's replay"
+        );
+        assert_eq!(
+            wave.result.fault_stats, b.waves[0].result.fault_stats,
+            "fault accounting must replay bit-identically"
+        );
+        assert_eq!(wave.tenants[0].1, b.waves[0].tenants[0].1);
     }
 
     #[test]

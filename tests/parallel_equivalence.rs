@@ -85,6 +85,7 @@ fn assert_results_identical(mut a: RunResult, mut b: RunResult) {
         "eviction wait distribution"
     );
     assert_eq!(a.pipeline, b.pipeline, "async pipeline counters");
+    assert_eq!(a.fault_stats, b.fault_stats, "fault-injection accounting");
     assert_eq!(
         a.tenant_evictions, b.tenant_evictions,
         "per-tenant eviction counts"

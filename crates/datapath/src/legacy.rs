@@ -10,7 +10,7 @@
 
 use crate::stages::{DataPath, PathLatency, Stage};
 use leap_remote::{BackendKind, DispatchQueues, FaultInjectionStats, FaultPlan, StorageBackend};
-use leap_sim_core::{DetRng, LatencySampler, LogNormalLatency, Nanos};
+use leap_sim_core::{DetRng, LatencySampler, Nanos, TableLatency};
 
 /// Latency parameters for the legacy path's software stages.
 #[derive(Debug, Clone, Copy)]
@@ -63,9 +63,9 @@ impl Default for LegacyPathParams {
 pub struct LegacyDataPath {
     params: LegacyPathParams,
     backend: StorageBackend,
-    bio_sampler: LogNormalLatency,
-    queue_sampler: LogNormalLatency,
-    dispatch_sampler: LogNormalLatency,
+    bio_sampler: TableLatency,
+    queue_sampler: TableLatency,
+    dispatch_sampler: TableLatency,
     /// Device/service queues: a spinning disk or SSD serialises requests on a
     /// single queue, while RDMA NICs expose per-core queues. Demand misses,
     /// prefetch reads, and write-backs all occupy the same device, so
@@ -94,18 +94,20 @@ impl LegacyDataPath {
             BackendKind::Hdd | BackendKind::Ssd => DispatchQueues::new(1),
             BackendKind::Rdma => DispatchQueues::new(8),
         };
+        // The block-layer log-normals are folded into quantile tables at
+        // construction: one RNG draw + a linear interpolation per sample.
         LegacyDataPath {
-            bio_sampler: LogNormalLatency::new(
+            bio_sampler: TableLatency::from_lognormal(
                 params.bio_preparation,
                 params.block_layer_sigma,
                 Nanos::from_nanos(500),
             ),
-            queue_sampler: LogNormalLatency::new(
+            queue_sampler: TableLatency::from_lognormal(
                 params.queueing_batching,
                 params.block_layer_sigma,
                 Nanos::from_micros(1),
             ),
-            dispatch_sampler: LogNormalLatency::new(
+            dispatch_sampler: TableLatency::from_lognormal(
                 params.dispatch,
                 params.block_layer_sigma,
                 Nanos::from_nanos(500),

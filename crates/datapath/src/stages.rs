@@ -45,6 +45,21 @@ impl Stage {
         Stage::MmuUpdate,
     ];
 
+    /// Dense index of this stage in [`Stage::ALL`] (pipeline order), used
+    /// for fixed-size per-stage accumulators.
+    pub const fn index(self) -> usize {
+        match self {
+            Stage::CacheLookup => 0,
+            Stage::Prefetcher => 1,
+            Stage::BioPreparation => 2,
+            Stage::QueueingAndBatching => 3,
+            Stage::Dispatch => 4,
+            Stage::RemoteInterface => 5,
+            Stage::DeviceTransfer => 6,
+            Stage::MmuUpdate => 7,
+        }
+    }
+
     /// Human-readable label.
     pub fn label(self) -> &'static str {
         match self {
@@ -182,6 +197,41 @@ pub trait DataPath: Send + std::fmt::Debug {
 
     /// Serves a single 4 KB page write, returning its latency breakdown.
     fn write_page(&mut self, page_offset: u64, core: usize, now: Nanos) -> PathLatency;
+
+    /// Serves a whole span of page reads issued together — same core, same
+    /// instant, as when an admitted prefetch span goes out — pushing each
+    /// read's end-to-end total onto `totals` (one entry per page, in order)
+    /// and returning the aggregate breakdown with per-stage sums over the
+    /// span.
+    ///
+    /// The default implementation is the per-read loop, so every data path
+    /// gets span semantics for free; implementations may override it to
+    /// batch the span (deferred queue bookkeeping, arena-backed buffers) as
+    /// long as each read's total and the RNG draws stay bit-identical to
+    /// the loop.
+    fn read_span(
+        &mut self,
+        pages: &[u64],
+        core: usize,
+        now: Nanos,
+        totals: &mut Vec<Nanos>,
+    ) -> PathLatency {
+        let mut sums = [Nanos::ZERO; INLINE_PATH_STAGES];
+        for &page in pages {
+            let breakdown = self.read_page(page, core, now);
+            totals.push(breakdown.total());
+            for entry in breakdown.iter() {
+                sums[entry.stage.index()] = sums[entry.stage.index()].saturating_add(entry.latency);
+            }
+        }
+        let mut aggregate = PathLatency::new();
+        for stage in Stage::ALL {
+            if !sums[stage.index()].is_zero() {
+                aggregate.push(stage, sums[stage.index()]);
+            }
+        }
+        aggregate
+    }
 
     /// A short name for reports ("linux-default" or "leap").
     fn name(&self) -> &'static str;

@@ -77,11 +77,22 @@ impl PrefetchFifoLru {
     ///
     /// Returns `true` if the slot was tracked and freed.
     pub fn on_hit(&mut self, slot: SwapSlot, cache: &mut SwapCache) -> bool {
+        if self.on_hit_freed(slot) {
+            cache.remove(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// FIFO-side bookkeeping of a hit whose cache entry the caller already
+    /// removed: the slot leaves the FIFO and the hit is counted. Returns
+    /// `true` if the slot was tracked.
+    pub fn on_hit_freed(&mut self, slot: SwapSlot) -> bool {
         let Some(pos) = self.fifo.iter().position(|&s| s == slot) else {
             return false;
         };
         self.fifo.remove(pos);
-        cache.remove(slot);
         self.stats.freed_on_hit += 1;
         self.stats.tracked = self.fifo.len() as u64;
         true

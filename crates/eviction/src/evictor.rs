@@ -73,6 +73,17 @@ pub trait CacheEvictor: std::fmt::Debug + Send {
     /// entry (the caller must not reuse it afterwards).
     fn on_hit(&mut self, slot: SwapSlot, origin: CacheOrigin, cache: &mut SwapCache) -> bool;
 
+    /// Handles a cache hit on a prefetch-origin `slot` whose entry the
+    /// caller already removed from the cache (the engine's fused hit path
+    /// records the hit and takes the entry in one cache operation when
+    /// [`CacheEvictor::frees_on_hit`] is true). Only the policy's own
+    /// bookkeeping remains; equivalent to [`CacheEvictor::on_hit`] minus
+    /// the cache removal. Policies that never free on hit are never
+    /// called and keep the default no-op.
+    fn on_hit_freed(&mut self, slot: SwapSlot) {
+        let _ = slot;
+    }
+
     /// Tries to free at least `target` pages from `cache` at time `now`.
     fn make_space(&mut self, cache: &mut SwapCache, target: u64, now: Nanos) -> EvictionReport;
 
@@ -81,6 +92,13 @@ pub trait CacheEvictor: std::fmt::Debug + Send {
     /// needed doing. Front-ends that do not model a background thread simply
     /// never call this.
     fn background_reclaim(&mut self, cache: &mut SwapCache, now: Nanos) -> Option<EvictionReport>;
+
+    /// False when [`CacheEvictor::background_reclaim`] unconditionally
+    /// returns `None`, letting per-access callers skip the virtual call
+    /// entirely. Policies with a real background scanner keep the default.
+    fn has_background_reclaimer(&self) -> bool {
+        true
+    }
 
     /// Number of pages the policy's bookkeeping currently has to scan to
     /// find reclaim candidates; page-allocation wait grows with this (§2.3).
@@ -130,18 +148,25 @@ impl CacheEvictor for EagerEvictor {
     }
 
     fn on_insert(&mut self, slot: SwapSlot, origin: CacheOrigin) {
-        if origin == CacheOrigin::Prefetch {
-            self.fifo.on_prefetch_insert(slot);
+        // The FIFO tracks prefetch-origin entries, the fallback LRU only
+        // demand-origin ones. The fallback is only ever reclaimed from once
+        // the FIFO has drained every live prefetch entry, so its victim set
+        // and order are the same as if it tracked everything — without the
+        // per-prefetch hash traffic on the hot path.
+        match origin {
+            CacheOrigin::Prefetch => self.fifo.on_prefetch_insert(slot),
+            CacheOrigin::Demand => self.fallback.on_insert(slot),
         }
-        self.fallback.on_insert(slot);
     }
 
     fn on_insert_span(&mut self, slots: &[SwapSlot], origin: CacheOrigin) {
-        if origin == CacheOrigin::Prefetch {
-            self.fifo.on_prefetch_insert_span(slots);
-        }
-        for &slot in slots {
-            self.fallback.on_insert(slot);
+        match origin {
+            CacheOrigin::Prefetch => self.fifo.on_prefetch_insert_span(slots),
+            CacheOrigin::Demand => {
+                for &slot in slots {
+                    self.fallback.on_insert(slot);
+                }
+            }
         }
     }
 
@@ -156,7 +181,6 @@ impl CacheEvictor for EagerEvictor {
                     // Not on the FIFO (edge case): still freed eagerly.
                     cache.remove(slot);
                 }
-                self.fallback.on_remove(slot);
                 true
             }
             CacheOrigin::Demand => {
@@ -168,12 +192,13 @@ impl CacheEvictor for EagerEvictor {
         }
     }
 
+    fn on_hit_freed(&mut self, slot: SwapSlot) {
+        self.fifo.on_hit_freed(slot);
+    }
+
     fn make_space(&mut self, cache: &mut SwapCache, target: u64, now: Nanos) -> EvictionReport {
         let mut report = EvictionReport::default();
         let victims = self.fifo.reclaim_fifo(cache, target);
-        for v in &victims {
-            self.fallback.on_remove(*v);
-        }
         report.freed_unused_prefetches = victims.len() as u64;
         if report.freed_total() < target {
             // No unconsumed prefetches left: fall back to LRU over whatever
@@ -193,6 +218,10 @@ impl CacheEvictor for EagerEvictor {
         _now: Nanos,
     ) -> Option<EvictionReport> {
         None
+    }
+
+    fn has_background_reclaimer(&self) -> bool {
+        false
     }
 
     fn tracked_pages(&self) -> u64 {

@@ -81,6 +81,12 @@ pub(crate) struct EngineCore {
     owner_scratch: Vec<Pid>,
     /// Per-slot presence mask for the span's batched probe.
     present_scratch: Vec<bool>,
+    /// Page offsets of the admitted span, handed to the data path's span
+    /// read in one call.
+    page_scratch: Vec<u64>,
+    /// Per-read totals the data path's span read fills in, replayed into
+    /// the async pipeline in page order.
+    total_scratch: Vec<Nanos>,
 }
 
 impl EngineCore {
@@ -111,6 +117,8 @@ impl EngineCore {
             span_scratch: Vec::new(),
             owner_scratch: Vec::new(),
             present_scratch: Vec::new(),
+            page_scratch: Vec::new(),
+            total_scratch: Vec::new(),
             label: setup.label(),
             config,
         }
@@ -160,6 +168,8 @@ impl EngineCore {
             span_scratch: Vec::new(),
             owner_scratch: Vec::new(),
             present_scratch: Vec::new(),
+            page_scratch: Vec::new(),
+            total_scratch: Vec::new(),
             label: self.label.clone(),
             config,
         }
@@ -259,6 +269,14 @@ impl EngineCore {
     /// Serves one page read over the data path from the next core.
     pub fn read_remote(&mut self, page_offset: u64) -> PathLatency {
         let core = self.next_core();
+        self.read_remote_on(page_offset, core)
+    }
+
+    /// Serves one page read over the data path on an explicitly pinned
+    /// core. Span admission draws one core per span and issues every read
+    /// of the span from it, the way a faulting thread issues its whole
+    /// prefetch window from the CPU it runs on.
+    pub fn read_remote_on(&mut self, page_offset: u64, core: usize) -> PathLatency {
         let now = self.clock.now();
         stage_timing::time(Stage::DataPath, || {
             self.data_path.read_page(page_offset, core, now)
@@ -274,14 +292,34 @@ impl EngineCore {
         })
     }
 
-    /// Serves one prefetch read like [`EngineCore::read_remote`] (same
-    /// dispatch queues, same random streams), then submits it to the async
-    /// pipeline so any in-flight-budget stall accumulates for the front-end
-    /// to charge via [`EngineCore::take_pending_stall`].
-    pub fn read_remote_async(&mut self, page_offset: u64) -> PathLatency {
-        let breakdown = self.read_remote(page_offset);
+    /// Serves one prefetch read on an explicitly pinned core (same dispatch
+    /// queues and random streams as [`EngineCore::read_remote_on`]), then
+    /// submits it to the async pipeline so any in-flight-budget stall
+    /// accumulates for the front-end to charge via
+    /// [`EngineCore::take_pending_stall`].
+    pub fn read_remote_async_on(&mut self, page_offset: u64, core: usize) -> PathLatency {
+        let breakdown = self.read_remote_on(page_offset, core);
         self.submit_async(breakdown.total(), IoKind::PrefetchRead);
         breakdown
+    }
+
+    /// Serves a whole span of prefetch reads on one pinned core: one
+    /// data-path span call (so batching data paths fold the per-read queue
+    /// bookkeeping into one pass), then one async-pipeline submission per
+    /// read in page order. Per-read totals, RNG draws, and pipeline stalls
+    /// are bit-identical to looping [`EngineCore::read_remote_async_on`].
+    pub fn read_remote_span(&mut self, pages: &[u64], core: usize) -> PathLatency {
+        let mut totals = std::mem::take(&mut self.total_scratch);
+        totals.clear();
+        let now = self.clock.now();
+        let aggregate = stage_timing::time(Stage::DataPath, || {
+            self.data_path.read_span(pages, core, now, &mut totals)
+        });
+        for &total in &totals {
+            self.submit_async(total, IoKind::PrefetchRead);
+        }
+        self.total_scratch = totals;
+        aggregate
     }
 
     /// Issues one write-back like [`EngineCore::write_remote`], then submits
@@ -359,11 +397,22 @@ impl EngineCore {
         }
     }
 
-    /// Handles the accounting for a swap-cache hit by `pid`: cache/prefetch
+    /// Looks up `slot` in its cache shard and, on a hit, does the whole
+    /// hit side in one pass: the hit is recorded — and, under a policy
+    /// that [frees on hit](CacheEvictor::frees_on_hit), the
+    /// prefetch-origin entry is taken out — in a single cache map
+    /// operation ([`leap_mem::SwapCache::record_hit_take`]), then cache/prefetch
     /// statistics, prefetcher feedback, and the owning shard's eviction
-    /// policy's reaction. Returns `true` if the policy freed the entry.
-    pub fn note_cache_hit(&mut self, pid: Pid, slot: SwapSlot, entry: &CacheEntry) -> bool {
+    /// policy react. Returns the hit entry, or `None` on a miss.
+    pub fn cache_hit(&mut self, pid: Pid, slot: SwapSlot) -> Option<CacheEntry> {
         let now = self.clock.now();
+        let shard = self.cache.shard_of(slot);
+        let free_prefetched = self.evictors[shard].frees_on_hit();
+        let (entry, taken) = stage_timing::time(Stage::Cache, || {
+            self.cache
+                .shard_mut(shard)
+                .record_hit_take(slot, now, free_prefetched)
+        })?;
         match entry.origin {
             CacheOrigin::Prefetch => {
                 self.result.cache_stats.record_prefetch_hit();
@@ -379,16 +428,15 @@ impl EngineCore {
                 self.result.cache_stats.record_demand_hit();
             }
         }
-        let shard = self.cache.shard_of(slot);
         stage_timing::time(Stage::Eviction, || {
-            self.evictors[shard].on_hit(slot, entry.origin, self.cache.shard_mut(shard))
-        })
-    }
-
-    /// Records a hit on `slot` in its cache shard at time `now` (the
-    /// instrumented front door to [`ShardedSwapCache::record_hit`]).
-    pub fn record_cache_hit(&mut self, slot: SwapSlot, now: Nanos) -> Option<CacheEntry> {
-        stage_timing::time(Stage::Cache, || self.cache.record_hit(slot, now))
+            if taken {
+                self.evictors[shard].on_hit_freed(slot);
+            } else {
+                let _ =
+                    self.evictors[shard].on_hit(slot, entry.origin, self.cache.shard_mut(shard));
+            }
+        });
+        Some(entry)
     }
 
     /// Consults the prefetcher for `pid`'s fault at `addr` on the active
@@ -453,12 +501,16 @@ impl EngineCore {
         if slots.is_empty() {
             return 0;
         }
+        // One core per span: the faulting thread issues its whole prefetch
+        // window from the CPU it runs on (and the batched dispatch below
+        // needs a single queue target).
+        let core = self.next_core();
         let span_shard = self.cache.span_shard(slots);
         if let Some(shard) = span_shard {
             if self.cache.shard(shard).free_pages() >= slots.len() as u64
                 && self.budget_fits(slots.len() as u64)
             {
-                return self.admit_span_batched(shard, slots, owners);
+                return self.admit_span_batched(shard, core, slots, owners);
             }
         }
         // Careful path: the span straddles shards or its shard may have to
@@ -473,7 +525,7 @@ impl EngineCore {
             if !self.make_cache_space_at(shard) {
                 continue;
             }
-            let _ = self.read_remote_async(slot.0);
+            let _ = self.read_remote_async_on(slot.0, core);
             let now = self.clock.now();
             stage_timing::time(Stage::Cache, || {
                 self.cache.shard_mut(shard).insert_fresh(
@@ -494,17 +546,25 @@ impl EngineCore {
     }
 
     /// The no-eviction-possible fast path of [`EngineCore::admit_prefetch_span`]:
-    /// one presence probe and one read per page, then one batched insert
-    /// pass, one evictor notification, and one statistics update for the
-    /// whole span.
-    fn admit_span_batched(&mut self, shard: usize, slots: &[SwapSlot], owners: &[Pid]) -> u32 {
+    /// one presence probe for the whole span, one data-path span read for
+    /// every admitted page, then one batched insert pass, one evictor
+    /// notification, and one statistics update.
+    fn admit_span_batched(
+        &mut self,
+        shard: usize,
+        core: usize,
+        slots: &[SwapSlot],
+        owners: &[Pid],
+    ) -> u32 {
         let mut admitted = std::mem::take(&mut self.span_scratch);
         let mut admitted_owners = std::mem::take(&mut self.owner_scratch);
         let mut present = std::mem::take(&mut self.present_scratch);
+        let mut pages = std::mem::take(&mut self.page_scratch);
         admitted.clear();
         admitted_owners.clear();
         present.clear();
         present.resize(slots.len(), false);
+        pages.clear();
         // One routed presence probe for the whole span; sound because the
         // cache is not mutated until the insert pass below.
         stage_timing::time(Stage::Cache, || {
@@ -519,10 +579,17 @@ impl EngineCore {
             if present[i] || admitted.contains(&slot) {
                 continue;
             }
-            let _ = self.read_remote_async(slot.0);
             admitted.push(slot);
             admitted_owners.push(owners[i]);
+            pages.push(slot.0);
         }
+        // All the span's reads go out in one data-path call: same draws,
+        // same per-read totals and pipeline submissions as the per-page
+        // loop, with the queue bookkeeping done once.
+        if !pages.is_empty() {
+            let _ = self.read_remote_span(&pages, core);
+        }
+        self.page_scratch = pages;
         let now = self.clock.now();
         stage_timing::time(Stage::Cache, || {
             self.cache.insert_fresh_span(
@@ -614,8 +681,14 @@ impl EngineCore {
     /// cross-timeline deltas. (Legacy single-shard runs are unaffected —
     /// there is exactly one shard and one clock.)
     pub fn background_reclaim(&mut self) {
-        let now = self.clock.now();
         let shard = self.active_core.min(self.evictors.len() - 1);
+        // The eager policy has no background scanner; skip the virtual call
+        // (and its timing probe) on every access rather than dispatching
+        // into a guaranteed no-op.
+        if !self.evictors[shard].has_background_reclaimer() {
+            return;
+        }
+        let now = self.clock.now();
         let report = stage_timing::time(Stage::Eviction, || {
             self.evictors[shard].background_reclaim(self.cache.shard_mut(shard), now)
         });

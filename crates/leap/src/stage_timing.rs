@@ -10,13 +10,19 @@
 //!   closure — zero instructions added to the hot path, nothing to measure,
 //!   nothing to mismeasure. [`ENABLED`] is `false` and [`snapshot`] returns
 //!   zeros.
-//! - **Feature on:** every instrumented section is bracketed by two
-//!   `Instant::now()` reads and added to a global per-stage atomic. The
-//!   probes themselves cost ~2×20 ns per section, so absolute throughput
-//!   numbers from an instrumented binary are *not* comparable to an
-//!   uninstrumented one — the breakdown is for attributing time, not for
-//!   the headline pages/sec (the perf harness records whether the feature
-//!   was on next to the numbers).
+//! - **Feature on:** every instrumented section is bracketed by two clock
+//!   reads and added to a global per-stage atomic. On x86_64 the reads are
+//!   raw TSC ticks (~2×10 ns per section), converted to nanoseconds once
+//!   at snapshot time via a calibration against the OS clock; elsewhere
+//!   they fall back to `Instant::now()` (~2×40 ns under virtualised
+//!   clocksources). The hot path takes a dozen probes per simulated
+//!   access, so an actively-probed run is *not* comparable to an unprobed
+//!   one — which is why the probes can also be switched off at runtime
+//!   ([`set_active`]): the perf harness times its wall-clock repeats with
+//!   the probes inactive (one predictable branch per section) and runs a
+//!   separate attribution repeat with them active, so the headline
+//!   pages/sec and the stage breakdown come observer-free from the same
+//!   binary.
 //!
 //! Accumulators are process-global atomics, so threaded replays sum the
 //! stage time of all shard workers (a CPU-time-like total that can exceed
@@ -71,8 +77,7 @@ pub const ENABLED: bool = cfg!(feature = "stage-timing");
 #[cfg(feature = "stage-timing")]
 mod imp {
     use super::{Stage, StageBreakdown};
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::time::Instant;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     static STAGES: [AtomicU64; 4] = [
         AtomicU64::new(0),
@@ -80,6 +85,21 @@ mod imp {
         AtomicU64::new(0),
         AtomicU64::new(0),
     ];
+
+    static ACTIVE: AtomicBool = AtomicBool::new(true);
+
+    /// Turns the probes on or off at runtime. While inactive, [`time`]
+    /// costs one predictable branch — cheap enough that a measurement
+    /// harness can take its wall-clock repeats observer-free and flip the
+    /// probes on for a separate attribution repeat.
+    pub fn set_active(active: bool) {
+        ACTIVE.store(active, Ordering::Relaxed);
+    }
+
+    /// True when the probes are currently accumulating.
+    pub fn is_active() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
 
     #[inline]
     fn slot(stage: Stage) -> &'static AtomicU64 {
@@ -91,12 +111,73 @@ mod imp {
         }]
     }
 
-    /// Runs `f`, attributing its host time to `stage`.
+    // On x86_64 the probe reads the TSC directly (~10 ns per read where a
+    // `clock_gettime` can cost 40+ ns under virtualised clocksources) and
+    // the tick counts are converted to nanoseconds once, at snapshot time,
+    // using a calibration against the OS clock. TSCs are synchronised
+    // across cores on every host this runs on; the attribution-only buckets
+    // tolerate the residual cross-core skew. Other architectures keep the
+    // portable OS-clock probe.
+    #[cfg(target_arch = "x86_64")]
+    mod probe {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+
+        #[inline]
+        pub fn now() -> u64 {
+            unsafe { core::arch::x86_64::_rdtsc() }
+        }
+
+        static TICKS_PER_NS: OnceLock<f64> = OnceLock::new();
+
+        /// Ticks per nanosecond, measured once against the OS clock over a
+        /// few milliseconds (called from `snapshot`, never from the hot
+        /// path).
+        fn ticks_per_ns() -> f64 {
+            *TICKS_PER_NS.get_or_init(|| {
+                let start = Instant::now();
+                let t0 = now();
+                while start.elapsed().as_millis() < 5 {
+                    std::hint::spin_loop();
+                }
+                let ticks = now().wrapping_sub(t0);
+                let elapsed = start.elapsed().as_nanos() as f64;
+                (ticks as f64 / elapsed).max(f64::MIN_POSITIVE)
+            })
+        }
+
+        pub fn to_ns(ticks: u64) -> u64 {
+            (ticks as f64 / ticks_per_ns()) as u64
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    mod probe {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+        #[inline]
+        pub fn now() -> u64 {
+            EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+        }
+
+        pub fn to_ns(ticks: u64) -> u64 {
+            ticks
+        }
+    }
+
+    /// Runs `f`, attributing its host time to `stage` (a plain call while
+    /// the probes are [inactive](set_active)).
     #[inline]
     pub fn time<R>(stage: Stage, f: impl FnOnce() -> R) -> R {
-        let start = Instant::now();
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return f();
+        }
+        let start = probe::now();
         let result = f();
-        slot(stage).fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        slot(stage).fetch_add(probe::now().wrapping_sub(start), Ordering::Relaxed);
         result
     }
 
@@ -110,10 +191,10 @@ mod imp {
     /// Reads the accumulated per-stage breakdown.
     pub fn snapshot() -> StageBreakdown {
         StageBreakdown {
-            prefetcher_ns: STAGES[0].load(Ordering::Relaxed),
-            data_path_ns: STAGES[1].load(Ordering::Relaxed),
-            cache_ns: STAGES[2].load(Ordering::Relaxed),
-            eviction_ns: STAGES[3].load(Ordering::Relaxed),
+            prefetcher_ns: probe::to_ns(STAGES[0].load(Ordering::Relaxed)),
+            data_path_ns: probe::to_ns(STAGES[1].load(Ordering::Relaxed)),
+            cache_ns: probe::to_ns(STAGES[2].load(Ordering::Relaxed)),
+            eviction_ns: probe::to_ns(STAGES[3].load(Ordering::Relaxed)),
         }
     }
 }
@@ -126,6 +207,16 @@ mod imp {
     #[inline(always)]
     pub fn time<R>(_stage: Stage, f: impl FnOnce() -> R) -> R {
         f()
+    }
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn set_active(_active: bool) {}
+
+    /// Always false (instrumentation compiled out).
+    #[inline(always)]
+    pub fn is_active() -> bool {
+        false
     }
 
     /// No-op (instrumentation compiled out).
@@ -145,6 +236,13 @@ pub use imp::time;
 
 /// Zeroes all stage accumulators (no-op when the feature is off).
 pub use imp::reset;
+
+/// Turns the probes on or off at runtime (no-op when the feature is off).
+pub use imp::set_active;
+
+/// True when the probes are currently accumulating (always false when the
+/// feature is off).
+pub use imp::is_active;
 
 /// Reads the accumulated per-stage breakdown (zeros when the feature is
 /// off).

@@ -97,12 +97,10 @@ impl VfsSimulator {
     /// A file read: cache hit or remote fetch plus prefetching. Returns the
     /// latency, outcome, and prefetches issued.
     fn read(&mut self, pid: Pid, page: u64) -> (Nanos, AccessOutcome, u32) {
-        let now = self.engine.clock.now();
         let slot = SwapSlot(page);
         self.engine.result.prefetch_stats.record_request();
 
-        if let Some(entry) = self.engine.record_cache_hit(slot, now) {
-            self.engine.note_cache_hit(pid, slot, &entry);
+        if let Some(entry) = self.engine.cache_hit(pid, slot) {
             return (
                 VFS_CACHE_HIT,
                 AccessOutcome::CacheHit {
@@ -153,13 +151,24 @@ impl VfsSimulator {
         decision: &leap_prefetcher::PrefetchDecision,
     ) -> u32 {
         let mut issued = 0u32;
+        // Like the span path, the reference draws one core per non-empty
+        // candidate list and issues every read from it.
+        let mut span_core: Option<usize> = None;
         for candidate in decision.iter() {
+            let core = match span_core {
+                Some(core) => core,
+                None => {
+                    let core = self.engine.next_core();
+                    span_core = Some(core);
+                    core
+                }
+            };
             let cslot = SwapSlot(candidate.0);
             if self.engine.cache.contains(cslot) {
                 continue;
             }
             self.ensure_cache_room(cslot);
-            let _ = self.engine.read_remote(candidate.0);
+            let _ = self.engine.read_remote_on(candidate.0, core);
             if self.engine.insert_prefetched(cslot, pid) {
                 issued += 1;
             }

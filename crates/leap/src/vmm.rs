@@ -189,12 +189,11 @@ impl VmmSimulator {
     ) -> (Nanos, AccessOutcome, u32) {
         self.engine.result.remote_accesses += 1;
         self.engine.result.prefetch_stats.record_request();
-        let now = self.engine.clock.now();
 
         let mut latency;
         let mut prefetches_issued = 0u32;
         let outcome;
-        let cache_hit = if let Some(entry) = self.engine.record_cache_hit(slot, now) {
+        let cache_hit = if let Some(entry) = self.engine.cache_hit(pid, slot) {
             // Swap-cache hit: the page's data is already in local DRAM, so
             // the access costs the cache lookup plus a fast page-table map —
             // sub-µs, as the paper reports for Leap up to the 85th percentile.
@@ -202,7 +201,6 @@ impl VmmSimulator {
             outcome = AccessOutcome::CacheHit {
                 origin: entry.origin,
             };
-            self.engine.note_cache_hit(pid, slot, &entry);
             true
         } else {
             // Swap-cache miss: full data-path traversal, then consult the

@@ -35,8 +35,15 @@ pub struct SwapSpace {
     next_fresh: u64,
     /// Slots that have been freed and can be reused.
     free_slots: Vec<SwapSlot>,
-    /// Owner of each in-use slot.
-    owners: FxHashMap<SwapSlot, (Pid, VirtPage)>,
+    /// Owner of each in-use slot, indexed by `slot - base`. In-use slots
+    /// are dense from `base` — fresh allocations are sequential and freed
+    /// slots are reused before `next_fresh` advances — so the vector's
+    /// length tracks the region's high-water mark (bounded by the pages
+    /// ever swapped out, not the region's capacity), and every owner probe
+    /// on the fault hot path is a direct index instead of a hash lookup.
+    owners: Vec<Option<(Pid, VirtPage)>>,
+    /// Number of in-use slots (`Some` entries of `owners`).
+    used: u64,
     /// Reverse map so a page that is swapped out again can reuse its slot,
     /// which the kernel does when the swap-cache copy is still clean.
     by_page: FxHashMap<(Pid, VirtPage), SwapSlot>,
@@ -60,9 +67,18 @@ impl SwapSpace {
             capacity,
             next_fresh: base,
             free_slots: Vec::new(),
-            owners: FxHashMap::default(),
+            owners: Vec::new(),
+            used: 0,
             by_page: FxHashMap::default(),
         }
+    }
+
+    /// The `owners` index of `slot`, if the slot lies inside this space's
+    /// region below the high-water mark.
+    #[inline]
+    fn owner_index(&self, slot: SwapSlot) -> Option<usize> {
+        let idx = slot.0.checked_sub(self.base)? as usize;
+        (idx < self.owners.len()).then_some(idx)
     }
 
     /// First slot offset of this space's region.
@@ -77,7 +93,7 @@ impl SwapSpace {
 
     /// Number of slots currently in use.
     pub fn used_slots(&self) -> u64 {
-        self.owners.len() as u64
+        self.used
     }
 
     /// Allocates a slot for `(pid, page)`.
@@ -99,22 +115,31 @@ impl SwapSpace {
         } else {
             self.free_slots.pop()?
         };
-        self.owners.insert(slot, (pid, page));
+        let idx = (slot.0 - self.base) as usize;
+        if idx >= self.owners.len() {
+            self.owners.resize(idx + 1, None);
+        }
+        self.owners[idx] = Some((pid, page));
+        self.used += 1;
         self.by_page.insert((pid, page), slot);
         Some(slot)
     }
 
     /// Frees a slot, forgetting its owner.
     pub fn free(&mut self, slot: SwapSlot) {
-        if let Some(owner) = self.owners.remove(&slot) {
+        let Some(idx) = self.owner_index(slot) else {
+            return;
+        };
+        if let Some(owner) = self.owners[idx].take() {
             self.by_page.remove(&owner);
             self.free_slots.push(slot);
+            self.used -= 1;
         }
     }
 
     /// Returns the process and virtual page stored in a slot, if any.
     pub fn owner(&self, slot: SwapSlot) -> Option<(Pid, VirtPage)> {
-        self.owners.get(&slot).copied()
+        self.owner_index(slot).and_then(|idx| self.owners[idx])
     }
 
     /// Returns the slot currently assigned to `(pid, page)`, if any.
@@ -197,11 +222,16 @@ mod tests {
                 }
             }
             // Every owner entry has a matching by_page entry and vice versa.
-            for (slot, (pid, page)) in swap.owners.iter() {
-                prop_assert_eq!(swap.by_page.get(&(*pid, *page)), Some(slot));
+            let mut in_use = 0u64;
+            for (idx, owner) in swap.owners.iter().enumerate() {
+                let Some((pid, page)) = owner else { continue };
+                in_use += 1;
+                let slot = SwapSlot(swap.base + idx as u64);
+                prop_assert_eq!(swap.by_page.get(&(*pid, *page)).copied(), Some(slot));
             }
+            prop_assert_eq!(swap.used_slots(), in_use);
             for ((pid, page), slot) in swap.by_page.iter() {
-                prop_assert_eq!(swap.owners.get(slot).copied(), Some((*pid, *page)));
+                prop_assert_eq!(swap.owner(*slot), Some((*pid, *page)));
             }
         }
 

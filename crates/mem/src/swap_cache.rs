@@ -184,6 +184,41 @@ impl SwapCache {
         Some(*entry)
     }
 
+    /// Records a hit on `slot` at time `now` and, when `free_prefetched` is
+    /// set and the entry is prefetch-origin, removes it in the same hash
+    /// operation (Leap's eager free-on-hit without a separate
+    /// [`SwapCache::remove`] lookup). The flag in the result is `true` when
+    /// the entry was taken out.
+    ///
+    /// Equivalent to `record_hit` followed by `remove` under that
+    /// condition; the returned entry carries the hit timestamp either way.
+    pub fn record_hit_take(
+        &mut self,
+        slot: SwapSlot,
+        now: Nanos,
+        free_prefetched: bool,
+    ) -> Option<(CacheEntry, bool)> {
+        use std::collections::hash_map::Entry;
+        match self.entries.entry(slot) {
+            Entry::Occupied(mut occupied) => {
+                if free_prefetched && occupied.get().origin == CacheOrigin::Prefetch {
+                    let mut entry = occupied.remove();
+                    if entry.first_hit_at.is_none() {
+                        entry.first_hit_at = Some(now);
+                    }
+                    Some((entry, true))
+                } else {
+                    let entry = occupied.get_mut();
+                    if entry.first_hit_at.is_none() {
+                        entry.first_hit_at = Some(now);
+                    }
+                    Some((*entry, false))
+                }
+            }
+            Entry::Vacant(_) => None,
+        }
+    }
+
     /// Removes a page from the cache, returning its entry.
     pub fn remove(&mut self, slot: SwapSlot) -> Option<CacheEntry> {
         self.entries.remove(&slot)

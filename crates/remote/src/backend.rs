@@ -8,9 +8,7 @@
 //! network congestion) so the tail behaviour in the latency CDFs is
 //! meaningful.
 
-use leap_sim_core::{
-    ConstantLatency, DetRng, LatencySampler, LogNormalLatency, MixtureLatency, Nanos,
-};
+use leap_sim_core::{ConstantLatency, DetRng, LatencySampler, Nanos, TableLatency};
 use serde::{Deserialize, Serialize};
 
 /// The kind of slower-tier backing store a page lives on.
@@ -110,61 +108,56 @@ impl StorageBackend {
 
     /// A spinning-disk backend: ~91.5 µs median with multi-millisecond seek
     /// outliers.
+    ///
+    /// The body/outlier mixture is folded into one precomputed quantile
+    /// table per direction ([`TableLatency::from_lognormal_mixture`]): one
+    /// RNG draw and a linear interpolation per sample instead of a mixture
+    /// pick plus per-component log-normal math.
     pub fn hdd() -> Self {
-        let body = || -> Box<dyn LatencySampler> {
-            Box::new(LogNormalLatency::new(
+        let mixture = [
+            (
+                0.97,
                 Nanos::from_micros_f64(91.48),
                 0.35,
                 Nanos::from_micros(40),
-            ))
-        };
-        let seek = || -> Box<dyn LatencySampler> {
-            Box::new(LogNormalLatency::new(
+            ),
+            (
+                0.03,
                 Nanos::from_millis_f64(4.5),
                 0.30,
                 Nanos::from_millis(1),
-            ))
-        };
+            ),
+        ];
         StorageBackend {
             kind: BackendKind::Hdd,
-            read: Box::new(MixtureLatency::new(vec![(0.97, body()), (0.03, seek())])),
-            write: Box::new(MixtureLatency::new(vec![(0.97, body()), (0.03, seek())])),
+            read: Box::new(TableLatency::from_lognormal_mixture(&mixture)),
+            write: Box::new(TableLatency::from_lognormal_mixture(&mixture)),
         }
     }
 
     /// An SSD backend: ~20 µs median reads, slower writes, and rare
     /// garbage-collection stalls.
     pub fn ssd() -> Self {
-        let read_body = || -> Box<dyn LatencySampler> {
-            Box::new(LogNormalLatency::new(
-                Nanos::from_micros_f64(20.0),
-                0.25,
-                Nanos::from_micros(8),
-            ))
-        };
-        let write_body = || -> Box<dyn LatencySampler> {
-            Box::new(LogNormalLatency::new(
-                Nanos::from_micros_f64(30.0),
-                0.30,
-                Nanos::from_micros(10),
-            ))
-        };
-        let gc_stall = || -> Box<dyn LatencySampler> {
-            Box::new(LogNormalLatency::new(
-                Nanos::from_micros_f64(400.0),
-                0.50,
-                Nanos::from_micros(100),
-            ))
-        };
+        let gc_stall = (Nanos::from_micros_f64(400.0), 0.50, Nanos::from_micros(100));
         StorageBackend {
             kind: BackendKind::Ssd,
-            read: Box::new(MixtureLatency::new(vec![
-                (0.995, read_body()),
-                (0.005, gc_stall()),
+            read: Box::new(TableLatency::from_lognormal_mixture(&[
+                (
+                    0.995,
+                    Nanos::from_micros_f64(20.0),
+                    0.25,
+                    Nanos::from_micros(8),
+                ),
+                (0.005, gc_stall.0, gc_stall.1, gc_stall.2),
             ])),
-            write: Box::new(MixtureLatency::new(vec![
-                (0.99, write_body()),
-                (0.01, gc_stall()),
+            write: Box::new(TableLatency::from_lognormal_mixture(&[
+                (
+                    0.99,
+                    Nanos::from_micros_f64(30.0),
+                    0.30,
+                    Nanos::from_micros(10),
+                ),
+                (0.01, gc_stall.0, gc_stall.1, gc_stall.2),
             ])),
         }
     }
@@ -173,30 +166,24 @@ impl StorageBackend {
     /// with a long congestion tail (the paper's §2.2 observation that single
     /// µs latency is "often wishful thinking").
     pub fn rdma() -> Self {
-        let body = || -> Box<dyn LatencySampler> {
-            Box::new(LogNormalLatency::new(
+        let mixture = [
+            (
+                0.99,
                 Nanos::from_micros_f64(4.3),
                 0.25,
                 Nanos::from_micros(2),
-            ))
-        };
-        let congestion = || -> Box<dyn LatencySampler> {
-            Box::new(LogNormalLatency::new(
+            ),
+            (
+                0.01,
                 Nanos::from_micros_f64(40.0),
                 0.40,
                 Nanos::from_micros(10),
-            ))
-        };
+            ),
+        ];
         StorageBackend {
             kind: BackendKind::Rdma,
-            read: Box::new(MixtureLatency::new(vec![
-                (0.99, body()),
-                (0.01, congestion()),
-            ])),
-            write: Box::new(MixtureLatency::new(vec![
-                (0.99, body()),
-                (0.01, congestion()),
-            ])),
+            read: Box::new(TableLatency::from_lognormal_mixture(&mixture)),
+            write: Box::new(TableLatency::from_lognormal_mixture(&mixture)),
         }
     }
 
@@ -232,13 +219,13 @@ impl StorageBackend {
     /// whether or not a fault epoch is active — the determinism contract for
     /// empty fault plans depends on this.
     pub fn read_latency_scaled(&self, rng: &mut DetRng, multiplier_milli: u64) -> Nanos {
-        crate::fault::scale_latency_milli(self.read.sample(rng), multiplier_milli)
+        self.read.sample_scaled(rng, multiplier_milli)
     }
 
     /// Samples a write latency and scales it by a fault-epoch multiplier in
     /// thousandths; see [`StorageBackend::read_latency_scaled`].
     pub fn write_latency_scaled(&self, rng: &mut DetRng, multiplier_milli: u64) -> Nanos {
-        crate::fault::scale_latency_milli(self.write.sample(rng), multiplier_milli)
+        self.write.sample_scaled(rng, multiplier_milli)
     }
 
     /// The nominal (median) read latency of this backend.

@@ -476,13 +476,12 @@ fn compose_multiplier_milli(a: u64, b: u64) -> u64 {
 
 /// Scales a sampled latency by a multiplier in thousandths. The identity
 /// multiplier returns the base unchanged (bit-identical healthy runs).
+///
+/// Delegates to [`leap_sim_core::scale_nanos_milli`], the single scaling
+/// primitive every sampler's `sample_scaled` folds epoch multipliers with.
+#[inline]
 pub fn scale_latency_milli(base: Nanos, multiplier_milli: u64) -> Nanos {
-    if multiplier_milli == MULTIPLIER_IDENTITY_MILLI {
-        return base;
-    }
-    let scaled = (u128::from(base.as_nanos()) * u128::from(multiplier_milli))
-        / u128::from(MULTIPLIER_IDENTITY_MILLI);
-    Nanos::from_nanos(scaled.min(u128::from(u64::MAX)) as u64)
+    leap_sim_core::scale_nanos_milli(base, multiplier_milli)
 }
 
 /// Per-run fault-injection accounting, merged across shards.

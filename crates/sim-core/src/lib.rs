@@ -29,8 +29,9 @@ pub mod units;
 pub use clock::SimClock;
 pub use hash::{fx_map_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use latency::{
-    ConstantLatency, EmpiricalLatency, LatencySampler, LogNormalLatency, MixtureLatency,
-    NormalLatency, UniformLatency,
+    scale_nanos_milli, ConstantLatency, EmpiricalLatency, LatencySampler, LogNormalLatency,
+    MixtureLatency, NormalLatency, TableLatency, UniformLatency, MULTIPLIER_IDENTITY_MILLI,
+    TABLE_SIZE,
 };
 pub use rng::DetRng;
 pub use time::Nanos;

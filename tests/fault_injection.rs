@@ -182,12 +182,12 @@ fn canonical_storm_over_perf_fixture_is_pinned() {
     let threaded =
         VmmSimulator::new(replay_config(2020, 2, ReplayMode::Threaded, storm)).run_multi(&traces);
 
-    // The healthy pins (104 accesses, completion 714_673 ns) come from
+    // The healthy pins (104 accesses, completion 602_597 ns) come from
     // golden_traces.rs; the storm must not change what was replayed, only
     // how long it took and what the fault layer saw.
     assert_eq!(serial.total_accesses, 104);
     assert!(
-        serial.completion_time.as_nanos() > 714_673,
+        serial.completion_time.as_nanos() > 602_597,
         "the storm must slow the fixture replay ({} ns)",
         serial.completion_time.as_nanos()
     );
@@ -196,8 +196,8 @@ fn canonical_storm_over_perf_fixture_is_pinned() {
     // Golden-pinned storm aggregates: any change means the fault layer's
     // virtual-time delivery, RNG discipline, or checksum words drifted.
     // Regenerate intentionally by updating these pins from a fresh run.
-    assert_eq!(serial.completion_time.as_nanos(), 1_508_438);
-    assert_eq!(serial.fault_stats.spiked_requests, 25);
+    assert_eq!(serial.completion_time.as_nanos(), 1_397_071);
+    assert_eq!(serial.fault_stats.spiked_requests, 29);
     assert_eq!(serial.fault_stats.degraded_requests, 13);
     assert_eq!(serial.fault_stats.reconnect_requests, 21);
     assert_eq!(
@@ -212,7 +212,7 @@ fn canonical_storm_over_perf_fixture_is_pinned() {
         serial.fault_stats.reconstruction_cost_total,
         Nanos::from_nanos(298_048)
     );
-    assert_eq!(serial.fault_stats.checksum, 10_250_488_836_750_742_768);
+    assert_eq!(serial.fault_stats.checksum, 4_255_149_869_353_675_325);
 
     assert_results_identical(serial, threaded);
 }

@@ -180,7 +180,7 @@ fn perf_fixture_replay_is_pinned_and_mode_identical() {
     // The pinned aggregates: any change here means the replay semantics of
     // ingested traces drifted.
     assert_eq!(serial.total_accesses, 104);
-    assert_eq!(serial.completion_time.as_nanos(), 714_673);
+    assert_eq!(serial.completion_time.as_nanos(), 602_597);
     assert_eq!(serial.remote_accesses, 67);
     assert_eq!(serial.first_touch_faults, 37);
     assert_eq!(serial.cache_stats.hits(), 47);

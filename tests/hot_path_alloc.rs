@@ -11,11 +11,16 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use leap_repro::leap::tracker::PageAccessTracker;
+use leap_repro::leap_datapath::{DataPath, LeanDataPath};
 use leap_repro::leap_mem::Pid;
 use leap_repro::leap_prefetcher::{
     IncrementalTrendDetector, LeapConfig, LeapPrefetcher, PageAddr, Prefetcher, PrefetcherKind,
     INLINE_DECISION_PAGES,
 };
+use leap_repro::leap_remote::{
+    FaultPlan, FaultSpec, HostAgent, HostAgentConfig, RemoteCluster, RemoteIoKind,
+};
+use leap_repro::leap_sim_core::{DetRng, Nanos};
 
 /// Counts every allocation (and reallocation) made through the global
 /// allocator.
@@ -257,4 +262,88 @@ fn tracker_layer_adds_no_allocations_once_instances_exist() {
         }
     });
     assert_eq!(allocs, 0, "tracker fault routing allocated {allocs} times");
+}
+
+#[test]
+fn span_batched_remote_io_does_not_allocate_in_steady_state() {
+    let _serial = serial_guard();
+    // The span-batched remote I/O path — table-sampled transport latency,
+    // fault-modifier bookkeeping, and the deferred span dispatch — must run
+    // out of the agent's per-shard arenas once the slabs are mapped, even
+    // while spike/degraded/reconnect epochs are live.
+    let mut agent = HostAgent::new(
+        HostAgentConfig::default(),
+        RemoteCluster::homogeneous(4, 64),
+        DetRng::seed_from(11),
+    );
+    let spec = FaultSpec {
+        latency_spikes: 8,
+        spike_multiplier_milli: 4_000,
+        degraded_epochs: 4,
+        degraded_multiplier_milli: 2_500,
+        reconnect_storms: 4,
+        reconnect_penalty: Nanos::from_micros(25),
+        epoch: Nanos::from_micros(400),
+        start: Nanos::from_micros(5),
+        horizon: Nanos::from_millis(40),
+        ..FaultSpec::none()
+    };
+    agent.install_fault_plan(FaultPlan::from_spec(21, &spec, 8));
+    let pages: Vec<u64> = (0..8u64).map(|i| i * 3).collect();
+    let mut results = Vec::with_capacity(pages.len());
+    // Warm up: map every slab the spans touch and size the span arenas.
+    let mut now = Nanos::ZERO;
+    for _ in 0..32 {
+        now = now.saturating_add(Nanos::from_micros(10));
+        results.clear();
+        agent.remote_io_span(RemoteIoKind::Read, &pages, 0, now, &mut results);
+    }
+    let allocs = count_allocs(|| {
+        for step in 0..2_048u64 {
+            now = now.saturating_add(Nanos::from_micros(5));
+            results.clear();
+            agent.remote_io_span(
+                RemoteIoKind::Read,
+                &pages,
+                (step % 8) as usize,
+                now,
+                &mut results,
+            );
+            assert!(results.iter().all(|r| r.is_some()));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "span-batched remote I/O allocated {allocs} times in steady state"
+    );
+}
+
+#[test]
+fn lean_data_path_span_reads_do_not_allocate_in_steady_state() {
+    let _serial = serial_guard();
+    // The lean path's read_span override batches the software-stage samples
+    // and the agent span into per-path arenas; after warm-up a whole span
+    // costs zero heap traffic.
+    let mut path = LeanDataPath::with_default_cluster(DetRng::seed_from(13));
+    let pages: Vec<u64> = (0..8u64).collect();
+    let mut totals = Vec::with_capacity(pages.len());
+    let mut now = Nanos::ZERO;
+    for _ in 0..32 {
+        now = now.saturating_add(Nanos::from_micros(10));
+        totals.clear();
+        let _ = path.read_span(&pages, 0, now, &mut totals);
+    }
+    let allocs = count_allocs(|| {
+        for step in 0..2_048u64 {
+            now = now.saturating_add(Nanos::from_micros(5));
+            totals.clear();
+            let breakdown = path.read_span(&pages, (step % 4) as usize, now, &mut totals);
+            assert_eq!(totals.len(), pages.len());
+            assert!(!breakdown.is_empty());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "lean span reads allocated {allocs} times in steady state"
+    );
 }

@@ -20,6 +20,7 @@ fn main() {
             leap_bench::fig_tenants(&[2, 4, 8], 2_000),
         ),
         ("Leap under churn", leap_bench::fig_churn()),
+        ("Tail latency under churn", leap_bench::fig_hedging()),
     ];
     for (name, report) in reports {
         println!("==================== {name} ====================");

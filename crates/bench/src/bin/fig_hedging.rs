@@ -1,0 +1,3 @@
+fn main() {
+    println!("{}", leap_bench::fig_hedging());
+}

@@ -9,7 +9,7 @@
 //! ```text
 //! cargo run --release -p leap-bench --bin perf_harness -- [--quick] \
 //!     [--cores N] [--out PATH] [--trace LOG]... [--tenants N] \
-//!     [--fault-plan PLAN.json]
+//!     [--fault-plan PLAN.json] [--recovery]
 //! ```
 //!
 //! `--quick` shrinks the traces for CI smoke runs. `--trace LOG`
@@ -31,17 +31,23 @@
 //! with their fault accounting; the serial/threaded identity assertion then
 //! covers the fault checksums too.
 //!
-//! Schema note: `leap-replay-bench/4` adds the optional top-level `faults`
-//! key (null unless `--fault-plan` was passed) to `leap-replay-bench/3`,
+//! `--recovery` additionally installs the tail-tolerant recovery policy
+//! (deadlines + retries + hedged reads) into every workload replay; the
+//! identity assertion then also covers the recovery-stats checksums, and a
+//! `recovery` section with the per-workload counters lands in the output.
+//!
+//! Schema note: `leap-replay-bench/5` adds the optional top-level
+//! `recovery` key (null unless `--recovery` was passed) to
+//! `leap-replay-bench/4`, which added the optional `faults` key to `/3`,
 //! which itself added the optional `tenants` key to `/2`; nothing else
-//! changed, so `/3` consumers that ignore unknown keys read `/4` files
+//! changed, so `/4` consumers that ignore unknown keys read `/5` files
 //! unmodified.
 
 use std::time::Instant;
 
 use leap::prelude::*;
 use leap::stage_timing::{self, StageBreakdown};
-use leap::FaultSpec;
+use leap::{FaultSpec, RecoveryPolicy};
 use leap_bench::tenant_figures;
 use leap_bench::{TraceSource, EXPERIMENT_SEED};
 use leap_service::ServiceReport;
@@ -77,7 +83,7 @@ struct WorkloadRow {
     identical: bool,
 }
 
-fn config(cores: usize, mode: ReplayMode, fault: FaultSpec) -> SimConfig {
+fn config(cores: usize, mode: ReplayMode, fault: FaultSpec, recovery: RecoveryPolicy) -> SimConfig {
     SimConfig::builder()
         .memory_fraction(0.5)
         .cores(cores)
@@ -85,6 +91,7 @@ fn config(cores: usize, mode: ReplayMode, fault: FaultSpec) -> SimConfig {
         .seed(EXPERIMENT_SEED)
         .replay_mode(mode)
         .fault_plan(fault)
+        .recovery_policy(recovery)
         .build()
         .expect("valid harness config")
 }
@@ -103,6 +110,7 @@ fn measure(
     mode: ReplayMode,
     repeats: usize,
     fault: FaultSpec,
+    recovery: RecoveryPolicy,
 ) -> ModeMeasurement {
     let accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
     let mut best_ms = f64::INFINITY;
@@ -110,7 +118,7 @@ fn measure(
     stage_timing::reset();
     stage_timing::set_active(false);
     for _ in 0..repeats.max(1) {
-        let sim = VmmSimulator::new(config(cores, mode, fault));
+        let sim = VmmSimulator::new(config(cores, mode, fault, recovery));
         let start = Instant::now();
         let result = sim.run_multi(traces);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
@@ -119,7 +127,7 @@ fn measure(
     }
     if stage_timing::ENABLED {
         stage_timing::set_active(true);
-        let sim = VmmSimulator::new(config(cores, mode, fault));
+        let sim = VmmSimulator::new(config(cores, mode, fault, recovery));
         let _ = sim.run_multi(traces);
         stage_timing::set_active(false);
     }
@@ -151,6 +159,8 @@ fn results_identical(a: &mut RunResult, b: &mut RunResult) -> bool {
         && a.allocation_wait.sorted_samples() == b.allocation_wait.sorted_samples()
         && a.eviction_wait.sorted_samples() == b.eviction_wait.sorted_samples()
         && a.fault_stats == b.fault_stats
+        && a.recovery_stats == b.recovery_stats
+        && a.tenant_recovery == b.tenant_recovery
 }
 
 /// One replay mode's wall-clock measurement of the tenant service run.
@@ -200,10 +210,18 @@ fn run_workload(
     cores: usize,
     repeats: usize,
     fault: FaultSpec,
+    recovery: RecoveryPolicy,
 ) -> WorkloadRow {
     let accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
-    let mut serial = measure(&traces, cores, ReplayMode::Serial, repeats, fault);
-    let mut threaded = measure(&traces, cores, ReplayMode::Threaded, repeats, fault);
+    let mut serial = measure(&traces, cores, ReplayMode::Serial, repeats, fault, recovery);
+    let mut threaded = measure(
+        &traces,
+        cores,
+        ReplayMode::Threaded,
+        repeats,
+        fault,
+        recovery,
+    );
     // Both modes must agree on the full simulated outcome (every counter
     // and the exact latency distributions) — this doubles as a determinism
     // smoke check on every harness run.
@@ -312,6 +330,11 @@ fn main() {
             })
         })
         .unwrap_or(FaultSpec::none());
+    let recovery = if args.iter().any(|a| a == "--recovery") {
+        RecoveryPolicy::tail_tolerant()
+    } else {
+        RecoveryPolicy::none()
+    };
 
     let (app_accesses, synth_accesses, repeats) = if quick {
         (10_000, 20_000, 2)
@@ -349,7 +372,7 @@ fn main() {
                 eprintln!("failed to load {}: {e}", source.label());
                 std::process::exit(2);
             });
-            run_workload(source.label(), traces, cores, repeats, fault)
+            run_workload(source.label(), traces, cores, repeats, fault, recovery)
         })
         .collect();
 
@@ -363,6 +386,14 @@ fn main() {
             fault.reconnect_storms,
             fault.start.as_nanos(),
             fault.horizon.as_nanos(),
+        );
+    }
+    if recovery.is_active() {
+        println!(
+            "recovery policy: {} ns deadline, {} retries, {} ns hedge delay",
+            recovery.timeout.as_nanos(),
+            recovery.max_retries,
+            recovery.hedge_delay.as_nanos(),
         );
     }
 
@@ -540,16 +571,60 @@ fn main() {
             fault_rows.join(","),
         )
     });
+    // The recovery section: the active policy plus each workload's recovery
+    // counters from the serial run (cross-mode identity is asserted above,
+    // recovery checksums included).
+    let recovery_section = recovery.is_active().then(|| {
+        let recovery_rows: Vec<String> = rows
+            .iter()
+            .map(|row| {
+                let r = &row.serial.result.recovery_stats;
+                format!(
+                    concat!(
+                        "{{\"name\":\"{}\",\"deadline_timeouts\":{},",
+                        "\"retries\":{},\"backoff_wait_total_ns\":{},",
+                        "\"hedges_issued\":{},\"hedges_won\":{},",
+                        "\"hedges_wasted\":{},\"degraded_reads\":{},",
+                        "\"partition_failfasts\":{},\"checksum\":\"{:#018x}\"}}"
+                    ),
+                    row.name,
+                    r.deadline_timeouts,
+                    r.retries,
+                    r.backoff_wait_total.as_nanos(),
+                    r.hedges_issued,
+                    r.hedges_won,
+                    r.hedges_wasted,
+                    r.degraded_reads,
+                    r.partition_failfasts,
+                    r.checksum,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"policy\":{{\"timeout_ns\":{},\"max_retries\":{},",
+                "\"backoff_base_ns\":{},\"backoff_jitter_ns\":{},",
+                "\"hedge_delay_ns\":{}}},\"rows\":[{}]}}"
+            ),
+            recovery.timeout.as_nanos(),
+            recovery.max_retries,
+            recovery.backoff_base.as_nanos(),
+            recovery.backoff_jitter.as_nanos(),
+            recovery.hedge_delay.as_nanos(),
+            recovery_rows.join(","),
+        )
+    });
 
-    // Schema /4 = /3 plus the optional `faults` key (see module docs).
+    // Schema /5 = /4 plus the optional `recovery` key (see module docs).
     let json = format!(
         concat!(
-            "{{\"schema\":\"leap-replay-bench/4\",\"quick\":{},",
+            "{{\"schema\":\"leap-replay-bench/5\",\"quick\":{},",
             "\"shards\":{},\"host_cores\":{},\"peak_rss_kb\":{},",
             "\"stage_timing\":{},",
             "\"workloads\":[{}],",
             "\"tenants\":{},",
-            "\"faults\":{}}}\n"
+            "\"faults\":{},",
+            "\"recovery\":{}}}\n"
         ),
         quick,
         cores,
@@ -559,6 +634,7 @@ fn main() {
         workloads_json.join(","),
         tenant_section.unwrap_or_else(|| "null".to_string()),
         faults_section.unwrap_or_else(|| "null".to_string()),
+        recovery_section.unwrap_or_else(|| "null".to_string()),
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path} (peak RSS {} kB)", peak_rss_kb());

@@ -79,6 +79,8 @@ pub fn churn_intensities(start: Nanos, horizon: Nanos) -> Vec<(&'static str, Fau
                 epoch,
                 start,
                 horizon,
+                partition_epochs: 0,
+                target_tenant: 0,
             },
         ),
     ]

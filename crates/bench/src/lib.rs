@@ -16,11 +16,13 @@
 
 pub mod app_figures;
 pub mod churn_figures;
+pub mod hedging_figures;
 pub mod micro_figures;
 pub mod tenant_figures;
 pub mod trace_source;
 
 pub use churn_figures::fig_churn;
+pub use hedging_figures::fig_hedging;
 pub use tenant_figures::fig_tenants;
 pub use trace_source::TraceSource;
 

@@ -272,6 +272,18 @@ impl DataPath for LeanDataPath {
     fn fault_stats(&self) -> leap_remote::FaultInjectionStats {
         self.agent.fault_stats()
     }
+
+    fn recovery_stats(&self) -> leap_remote::RecoveryStats {
+        self.agent.recovery_stats()
+    }
+
+    fn tenant_recovery(&self) -> Vec<(u32, leap_remote::TenantRecovery)> {
+        self.agent.tenant_recovery()
+    }
+
+    fn set_active_tenant(&mut self, tenant: u32) {
+        self.agent.set_active_tenant(tenant);
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +394,49 @@ mod tests {
         assert_eq!(
             span_path.read_page(999, 0, Nanos::from_millis(10)).total(),
             loop_path.read_page(999, 0, Nanos::from_millis(10)).total()
+        );
+    }
+
+    #[test]
+    fn read_span_stays_identical_with_recovery_and_partitions() {
+        use leap_remote::{recovery_stream_seed, FaultPlan, FaultSpec, RecoveryPolicy};
+        // With an active recovery policy (and link partitions in the plan)
+        // the span path must fall back to the per-request reference path;
+        // this pins that the fallback really is bit-identical.
+        let build = || {
+            let mut path = LeanDataPath::with_default_cluster(DetRng::seed_from(31));
+            let spec = FaultSpec::canonical_partition_storm();
+            path.agent_mut()
+                .install_fault_plan(FaultPlan::from_spec(31, &spec, 4));
+            path.agent_mut()
+                .install_recovery(RecoveryPolicy::tail_tolerant(), recovery_stream_seed(31));
+            path
+        };
+        let mut span_path = build();
+        let mut loop_path = build();
+        let mut span_totals = Vec::new();
+        for step in 0..80u64 {
+            let now = Nanos::from_micros(step * 9);
+            let core = (step % 4) as usize;
+            let pages: Vec<u64> = (0..(step % 6)).map(|i| step * 13 + i).collect();
+            span_totals.clear();
+            let aggregate = span_path.read_span(&pages, core, now, &mut span_totals);
+            let mut loop_total = Nanos::ZERO;
+            for (i, &page) in pages.iter().enumerate() {
+                let b = loop_path.read_page(page, core, now);
+                assert_eq!(span_totals[i], b.total(), "step {step} page {i}");
+                loop_total += b.total();
+            }
+            assert_eq!(aggregate.total(), loop_total, "step {step} aggregate");
+        }
+        assert_eq!(
+            span_path.recovery_stats(),
+            loop_path.recovery_stats(),
+            "recovery accounting must agree between span and loop"
+        );
+        assert!(
+            !span_path.recovery_stats().is_quiet(),
+            "the storm must actually exercise recovery"
         );
     }
 }

@@ -241,6 +241,23 @@ pub trait DataPath: Send + std::fmt::Debug {
     fn fault_stats(&self) -> leap_remote::FaultInjectionStats {
         leap_remote::FaultInjectionStats::default()
     }
+
+    /// Recovery accounting for this path. Paths without a recovery layer
+    /// report the quiet default (no recovery action taken).
+    fn recovery_stats(&self) -> leap_remote::RecoveryStats {
+        leap_remote::RecoveryStats::default()
+    }
+
+    /// Per-tenant recovery ledgers, sorted by tenant id. Empty for paths
+    /// without a recovery layer or for untagged traffic.
+    fn tenant_recovery(&self) -> Vec<(u32, leap_remote::TenantRecovery)> {
+        Vec::new()
+    }
+
+    /// Tags subsequent accesses with the issuing tenant (`0` = untagged).
+    /// The engine calls this at scheduler context switches; paths without
+    /// tenant-aware fault/recovery layers ignore it.
+    fn set_active_tenant(&mut self, _tenant: u32) {}
 }
 
 #[cfg(test)]

@@ -267,6 +267,20 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Installs a request-recovery policy for the remote tier: virtual-time
+    /// deadlines with retry/backoff, hedged reads, and fail-fast rerouting
+    /// around link partitions. Recovery draws from its own salted RNG stream
+    /// (`seed ^ RECOVERY_SALT`), so enabling it never perturbs the fault
+    /// schedule or the workload; [`RecoveryPolicy::none`] (the default)
+    /// keeps runs byte-identical to a build without the layer. Validated
+    /// for consistency at build time.
+    ///
+    /// [`RecoveryPolicy::none`]: leap_remote::RecoveryPolicy::none
+    pub fn recovery_policy(mut self, policy: leap_remote::RecoveryPolicy) -> Self {
+        self.config.recovery = policy;
+        self
+    }
+
     /// Replaces the component registry consulted by the `*_named` selectors
     /// (defaults to [`ComponentRegistry::builtin`]).
     pub fn registry(mut self, registry: ComponentRegistry) -> Self {

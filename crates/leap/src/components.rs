@@ -169,6 +169,12 @@ impl DataPathFactory for LeanDataPathFactory {
                 machines,
             ));
         }
+        if config.recovery.is_active() {
+            path.agent_mut().install_recovery(
+                config.recovery,
+                leap_remote::recovery_stream_seed(config.seed),
+            );
+        }
         Box::new(path)
     }
 }

@@ -11,7 +11,7 @@
 use crate::builder::SimConfigBuilder;
 use crate::error::ConfigError;
 use leap_prefetcher::PrefetcherKind;
-use leap_remote::{BackendKind, FaultSpec};
+use leap_remote::{BackendKind, FaultSpec, RecoveryPolicy};
 use leap_sim_core::Nanos;
 use serde::{Deserialize, Serialize};
 
@@ -185,6 +185,12 @@ pub struct SimConfig {
     /// data path is built; set via
     /// [`fault_plan`](crate::SimConfigBuilder::fault_plan).
     pub fault: FaultSpec,
+    /// Request-recovery policy for the remote tier
+    /// ([`RecoveryPolicy::none`] by default: no deadlines, no hedging —
+    /// byte-identical to a build without the recovery layer). Installed on
+    /// the lean data path's host agent when active; set via
+    /// [`recovery_policy`](crate::SimConfigBuilder::recovery_policy).
+    pub recovery: RecoveryPolicy,
 }
 
 /// Upper bound accepted for [`SimConfig::context_switch_cost`]. Real context
@@ -226,6 +232,7 @@ impl SimConfig {
             backend_read_latency: None,
             backend_write_latency: None,
             fault: FaultSpec::none(),
+            recovery: RecoveryPolicy::none(),
         }
     }
 
@@ -297,6 +304,9 @@ impl SimConfig {
         self.fault
             .validate()
             .map_err(|reason| ConfigError::InvalidFaultSpec { reason })?;
+        self.recovery
+            .validate()
+            .map_err(|reason| ConfigError::InvalidRecoveryPolicy { reason })?;
         Ok(())
     }
 
@@ -344,6 +354,7 @@ impl SimConfig {
                 "\"seed\":{},",
                 "\"backend_read_latency_ns\":{},",
                 "\"backend_write_latency_ns\":{},",
+                "{},",
                 "{}",
                 "}}"
             ),
@@ -365,6 +376,7 @@ impl SimConfig {
             opt_nanos(self.backend_read_latency),
             opt_nanos(self.backend_write_latency),
             self.fault.to_json_fields(),
+            self.recovery.to_json_fields(),
         )
     }
 
@@ -459,12 +471,17 @@ impl SimConfig {
                     config.backend_write_latency = parse_opt_nanos(value)?;
                 }
                 other => {
-                    // `fault_*` keys are parsed by the spec itself, so the
-                    // fault schema lives in one place (crates/remote).
+                    // `fault_*` / `recovery_*` keys are parsed by their
+                    // specs, so each schema lives in one place
+                    // (crates/remote).
                     let consumed = config
                         .fault
                         .apply_json_field(other, value)
-                        .map_err(ConfigError::Parse)?;
+                        .map_err(|e| ConfigError::Parse(e.to_string()))?
+                        || config
+                            .recovery
+                            .apply_json_field(other, value)
+                            .map_err(ConfigError::Parse)?;
                     if !consumed {
                         return Err(ConfigError::Parse(format!("unknown key {other:?}")));
                     }
@@ -633,6 +650,54 @@ mod tests {
         // Old configs without fault keys still parse, defaulting to healthy.
         let healthy = SimConfig::from_json(&SimConfig::linux_defaults().to_json()).unwrap();
         assert_eq!(healthy.fault, FaultSpec::none());
+    }
+
+    #[test]
+    fn recovery_policy_rides_the_config_json() {
+        let config = SimConfig::leap_defaults()
+            .to_builder()
+            .recovery_policy(RecoveryPolicy::tail_tolerant())
+            .build()
+            .unwrap();
+        assert!(config.recovery.is_active());
+        let parsed = SimConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(parsed, config);
+        assert_eq!(parsed.recovery, RecoveryPolicy::tail_tolerant());
+        // Old configs without recovery keys still parse, defaulting to off.
+        let quiet = SimConfig::from_json(&SimConfig::linux_defaults().to_json()).unwrap();
+        assert_eq!(quiet.recovery, RecoveryPolicy::none());
+    }
+
+    #[test]
+    fn invalid_recovery_policy_is_rejected_at_validation() {
+        let mut bad = RecoveryPolicy::none();
+        bad.max_retries = 3; // retries without a deadline can never trigger
+        let err = SimConfig::leap_defaults()
+            .to_builder()
+            .recovery_policy(bad)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidRecoveryPolicy { .. }));
+        assert!(err.to_string().contains("recovery"));
+    }
+
+    #[test]
+    fn unknown_fault_keys_surface_the_typed_error_text() {
+        let err = SimConfig::from_json("{\"fault_warp_drive\":1}").unwrap_err();
+        let ConfigError::Parse(msg) = &err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert!(msg.contains("fault_warp_drive"), "got {msg:?}");
+        // A bad value on a known fault key is also a parse error, carrying
+        // the key and the offending value from the typed remote-tier error.
+        let err = SimConfig::from_json("{\"fault_latency_spikes\":\"lots\"}").unwrap_err();
+        let ConfigError::Parse(msg) = &err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert!(
+            msg.contains("fault_latency_spikes") && msg.contains("lots"),
+            "got {msg:?}"
+        );
     }
 
     #[test]

@@ -226,6 +226,14 @@ impl EngineCore {
         self.clock = SimClock::starting_at(now);
     }
 
+    /// Tags subsequent data-path traffic with the issuing tenant so
+    /// tenant-targeted fault plans and per-tenant recovery ledgers know who
+    /// is on-CPU. Called by the front-end at every access (the pid is known
+    /// per access, not per core); a plain field store on the data path.
+    pub fn set_active_tenant(&mut self, tenant: u32) {
+        self.data_path.set_active_tenant(tenant);
+    }
+
     /// Pins the clock to the replay's completion instant (the latest core's
     /// local time) so [`EngineCore::into_result`] reports the parallel
     /// makespan rather than the last-stepped core's time.
@@ -755,6 +763,14 @@ impl EngineCore {
         self.pipeline.drain();
         self.result.pipeline = *self.pipeline.stats();
         self.result.fault_stats = self.data_path.fault_stats();
+        self.result.recovery_stats = self.data_path.recovery_stats();
+        for (tenant, ledger) in self.data_path.tenant_recovery() {
+            self.result
+                .tenant_recovery
+                .entry(tenant)
+                .or_default()
+                .merge(&ledger);
+        }
     }
 
     /// Finishes the run.

@@ -76,6 +76,12 @@ pub enum ConfigError {
         /// What the fault spec got wrong.
         reason: &'static str,
     },
+    /// The recovery policy is inconsistent (see
+    /// [`leap_remote::RecoveryPolicy::validate`]).
+    InvalidRecoveryPolicy {
+        /// What the recovery policy got wrong.
+        reason: &'static str,
+    },
     /// A serialized config could not be parsed.
     Parse(String),
 }
@@ -118,6 +124,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::InvalidFaultSpec { reason } => {
                 write!(f, "invalid fault spec: {reason}")
+            }
+            ConfigError::InvalidRecoveryPolicy { reason } => {
+                write!(f, "invalid recovery policy: {reason}")
             }
             ConfigError::Parse(msg) => write!(f, "config parse error: {msg}"),
         }

@@ -98,7 +98,10 @@ pub use tracker::PageAccessTracker;
 pub use vfs::VfsSimulator;
 pub use vmm::VmmSimulator;
 
-pub use leap_remote::{FaultInjectionStats, FaultPlan, FaultSpec};
+pub use leap_remote::{
+    FaultInjectionStats, FaultJsonError, FaultPlan, FaultSpec, RecoveryPolicy, RecoveryStats,
+    TenantRecovery,
+};
 
 /// Commonly used items, re-exported for examples and experiment binaries.
 pub mod prelude {
@@ -120,7 +123,10 @@ pub mod prelude {
     pub use crate::vfs::VfsSimulator;
     pub use crate::vmm::VmmSimulator;
     pub use leap_prefetcher::PrefetcherKind;
-    pub use leap_remote::{BackendKind, FaultInjectionStats, FaultPlan, FaultSpec};
+    pub use leap_remote::{
+        BackendKind, FaultInjectionStats, FaultJsonError, FaultPlan, FaultSpec, RecoveryPolicy,
+        RecoveryStats, TenantRecovery,
+    };
     pub use leap_sim_core::Nanos;
     pub use leap_workloads::{AppKind, AppModel};
 }

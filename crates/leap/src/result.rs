@@ -2,7 +2,7 @@
 
 use crate::pipeline::PipelineStats;
 use leap_metrics::{CacheStats, LatencyHistogram, PrefetchStats};
-use leap_remote::FaultInjectionStats;
+use leap_remote::{FaultInjectionStats, RecoveryStats, TenantRecovery};
 use leap_sim_core::Nanos;
 use std::collections::BTreeMap;
 
@@ -58,6 +58,14 @@ pub struct RunResult {
     /// tenant's residency), keyed with a `BTreeMap` so iteration — and
     /// therefore any report built from it — is deterministic.
     pub tenant_evictions: BTreeMap<u32, u64>,
+    /// Request-recovery accounting: deadline timeouts, retries, hedged
+    /// reads issued/won/wasted, degraded (disk-path) reads, partition
+    /// fail-fasts, and a commutative checksum merged across shards. Quiet
+    /// (all-zero) when no recovery policy was installed.
+    pub recovery_stats: RecoveryStats,
+    /// Recovery actions attributed per tenant (`pid.0` → that tenant's
+    /// retries, hedge wins, and degraded reads); empty for untagged runs.
+    pub tenant_recovery: BTreeMap<u32, TenantRecovery>,
 }
 
 impl RunResult {
@@ -121,6 +129,10 @@ impl RunResult {
         self.fault_stats.merge(&shard.fault_stats);
         for (pid, pages) in shard.tenant_evictions {
             *self.tenant_evictions.entry(pid).or_insert(0) += pages;
+        }
+        self.recovery_stats.merge(&shard.recovery_stats);
+        for (pid, ledger) in shard.tenant_recovery {
+            self.tenant_recovery.entry(pid).or_default().merge(&ledger);
         }
     }
 }

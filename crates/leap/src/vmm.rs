@@ -582,6 +582,7 @@ impl Simulator for VmmSimulator {
     }
 
     fn step_access(&mut self, pid: Pid, access: Access) -> FaultEvent {
+        self.engine.set_active_tenant(pid.0);
         self.engine.begin_access(&access);
 
         let page = VirtPage(access.page);

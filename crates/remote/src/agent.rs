@@ -8,9 +8,11 @@
 
 use crate::backend::{BackendKind, StorageBackend};
 use crate::dispatch::{DispatchOutcome, DispatchQueues};
-use crate::fault::{FaultInjectionStats, FaultPlan};
+use crate::fault::{scale_latency_milli, FaultInjectionStats, FaultModifiers, FaultPlan};
+use crate::recovery::{self, RecoveryPolicy, RecoveryStats, TenantRecovery};
 use crate::slab::{MachineId, RemoteCluster, SlabId, SlabMap, DEFAULT_SLAB_BYTES};
 use leap_sim_core::{DetRng, Nanos};
+use std::collections::BTreeMap;
 
 /// Pages copied from a surviving replica when one lost copy is rebuilt.
 const REREPLICATION_PAGES: u64 = 64;
@@ -108,6 +110,24 @@ pub struct HostAgent {
     span_services: Vec<Nanos>,
     /// Arena for span dispatch outcomes, reused like `span_services`.
     span_outcomes: Vec<DispatchOutcome>,
+    /// The installed recovery policy; `none()` by default, in which case no
+    /// recovery branch fires and no recovery RNG stream is ever derived.
+    recovery: RecoveryPolicy,
+    /// Root seed for per-request recovery RNG streams (already salted by the
+    /// caller via [`recovery::recovery_stream_seed`]).
+    recovery_seed: u64,
+    /// Shard-local ordinal of recovery-considered requests; each request
+    /// derives its own stream from `(recovery_seed, ordinal)`, so recovery
+    /// decisions never advance a shared stream.
+    recovery_requests: u64,
+    /// Accounting for every recovery action the agent took.
+    recovery_stats: RecoveryStats,
+    /// The tenant the currently executing access belongs to (`0` = untagged
+    /// single-process traffic). Set by the engine at context-switch points.
+    active_tenant: u32,
+    /// Per-tenant recovery ledger; only touched for tagged traffic, so the
+    /// single-tenant hot path never probes the map.
+    tenant_recovery: BTreeMap<u32, TenantRecovery>,
 }
 
 impl HostAgent {
@@ -133,6 +153,12 @@ impl HostAgent {
             pending_reconstruction: Nanos::ZERO,
             span_services: Vec::new(),
             span_outcomes: Vec::new(),
+            recovery: RecoveryPolicy::none(),
+            recovery_seed: 0,
+            recovery_requests: 0,
+            recovery_stats: RecoveryStats::default(),
+            active_tenant: 0,
+            tenant_recovery: BTreeMap::new(),
         }
     }
 
@@ -157,6 +183,42 @@ impl HostAgent {
     /// Fault-injection accounting for this agent.
     pub fn fault_stats(&self) -> FaultInjectionStats {
         self.fault_stats
+    }
+
+    /// Installs the recovery policy and the (already salted) recovery stream
+    /// seed. [`RecoveryPolicy::none`] — the default — keeps every request on
+    /// the exact pre-recovery code path: no extra RNG derivation, no extra
+    /// queue operation, no checksum word.
+    pub fn install_recovery(&mut self, policy: RecoveryPolicy, recovery_seed: u64) {
+        self.recovery = policy;
+        self.recovery_seed = recovery_seed;
+        self.recovery_requests = 0;
+    }
+
+    /// The installed recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Recovery accounting for this agent.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// Per-tenant recovery ledgers, sorted by tenant id.
+    pub fn tenant_recovery(&self) -> Vec<(u32, TenantRecovery)> {
+        self.tenant_recovery
+            .iter()
+            .map(|(&tenant, &ledger)| (tenant, ledger))
+            .collect()
+    }
+
+    /// Tags subsequent accesses with the tenant that issued them (`0` clears
+    /// the tag). The engine calls this at scheduler context switches so
+    /// tenant-targeted fault plans and per-tenant recovery ledgers attribute
+    /// work correctly.
+    pub fn set_active_tenant(&mut self, tenant: u32) {
+        self.active_tenant = tenant;
     }
 
     /// The agent configuration.
@@ -382,6 +444,215 @@ impl HostAgent {
         }
     }
 
+    /// The fault modifiers the *current access* must pay: the plan's
+    /// modifiers at `now`, unless the plan targets a specific tenant and the
+    /// active access belongs to someone else. The always-resolve discipline
+    /// (resolve, then maybe discard) keeps the code path shape identical for
+    /// targeted and untargeted traffic.
+    fn effective_modifiers(&self, now: Nanos) -> FaultModifiers {
+        let mods = self.plan.modifiers_at(now);
+        if self.plan.applies_to_tenant(self.active_tenant) {
+            mods
+        } else {
+            FaultModifiers::IDENTITY
+        }
+    }
+
+    /// Routes the request around link partitions: returns the machine to
+    /// dispatch to, or `None` when every replica of the slab is unreachable
+    /// from this core's link shard (the caller degrades to the disk path).
+    ///
+    /// Partition-free plans (and traffic a targeted plan does not cover)
+    /// return the primary unchanged without touching the slab map again.
+    fn route_reachable(
+        &mut self,
+        kind: RemoteIoKind,
+        page_offset: u64,
+        primary: MachineId,
+        core: usize,
+        now: Nanos,
+    ) -> Option<MachineId> {
+        if !self.plan.has_partitions() || !self.plan.applies_to_tenant(self.active_tenant) {
+            return Some(primary);
+        }
+        if !self.plan.link_partitioned(core, primary.0, now) {
+            return Some(primary);
+        }
+        // The primary link is down: fail fast onto the first alive,
+        // reachable replica rather than waiting out a timeout.
+        let slab = self.slab_map.slab_of_page(page_offset);
+        let alternate = self.slab_map.machines_of(slab).and_then(|replicas| {
+            replicas.iter().copied().find(|&m| {
+                m != primary
+                    && !self.cluster.is_failed(m)
+                    && !self.plan.link_partitioned(core, m.0, now)
+            })
+        });
+        match alternate {
+            Some(machine) => {
+                self.recovery_stats.partition_failfasts += 1;
+                self.recovery_stats
+                    .record(0x9a97_11fdu64 ^ now.as_nanos() ^ u64::from(machine.0));
+                Some(machine)
+            }
+            None => {
+                // Every replica is behind a severed link. Reads degrade to
+                // the disk-latency path (the caller's `None` branch); writes
+                // fall back the same way, modeling a local spill.
+                if kind == RemoteIoKind::Read {
+                    self.recovery_stats.degraded_reads += 1;
+                    if self.active_tenant != 0 {
+                        self.tenant_recovery
+                            .entry(self.active_tenant)
+                            .or_default()
+                            .degraded_reads += 1;
+                    }
+                }
+                self.recovery_stats.record(0xd15c_fa11u64 ^ now.as_nanos());
+                None
+            }
+        }
+    }
+
+    /// The replica a hedge for `page_offset` would go to: the first alive,
+    /// reachable replica other than the one already serving the request.
+    fn hedge_replica(
+        &self,
+        page_offset: u64,
+        served: MachineId,
+        core: usize,
+        now: Nanos,
+    ) -> Option<MachineId> {
+        let slab = self.slab_map.slab_of_page(page_offset);
+        let replicas = self.slab_map.machines_of(slab)?;
+        let partitioned = |m: MachineId| {
+            self.plan.has_partitions()
+                && self.plan.applies_to_tenant(self.active_tenant)
+                && self.plan.link_partitioned(core, m.0, now)
+        };
+        replicas
+            .iter()
+            .copied()
+            .find(|&m| m != served && !self.cluster.is_failed(m) && !partitioned(m))
+    }
+
+    /// Resolves the recovery outcome for one request whose primary attempt
+    /// (`attempt`, sampled from the agent stream) started at virtual time
+    /// `start` and is already staged on queue `core`.
+    ///
+    /// Returns the recovered service time, measured from `start`. Only
+    /// called when the policy is active; all draws come from a per-request
+    /// stream derived from `(recovery_seed, ordinal)`, so the agent's base
+    /// stream and the attempt sequence are invariant under policy changes.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_recovery(
+        &mut self,
+        kind: RemoteIoKind,
+        page_offset: u64,
+        served: MachineId,
+        core: usize,
+        now: Nanos,
+        start: Nanos,
+        attempt0: Nanos,
+        multiplier_milli: u64,
+    ) -> Nanos {
+        let ordinal = self.recovery_requests;
+        self.recovery_requests += 1;
+        let mut req_rng = recovery::request_stream(self.recovery_seed, ordinal);
+        let mut attempt = attempt0;
+
+        // Hedged reads: after `hedge_delay`, issue the same read to another
+        // replica. The hedge travels a different link, so its sample is
+        // drawn unscaled (epoch modifiers model the congested primary path);
+        // the first virtual completion wins and the loser is cancelled.
+        if kind == RemoteIoKind::Read
+            && !self.recovery.hedge_delay.is_zero()
+            && attempt > self.recovery.hedge_delay
+            && self.hedge_replica(page_offset, served, core, now).is_some()
+        {
+            self.recovery_stats.hedges_issued += 1;
+            let hedge_sample = self.backend.read_latency(&mut req_rng);
+            let hedge_total = self.recovery.hedge_delay.saturating_add(hedge_sample);
+            if hedge_total < attempt {
+                let _ = self
+                    .queues
+                    .cancel_request(core, start.saturating_add(hedge_total));
+                self.recovery_stats.hedges_won += 1;
+                self.recovery_stats
+                    .record(0x4ed6_ed4eu64 ^ now.as_nanos() ^ ordinal.rotate_left(7));
+                if self.active_tenant != 0 {
+                    self.tenant_recovery
+                        .entry(self.active_tenant)
+                        .or_default()
+                        .hedges_won += 1;
+                }
+                attempt = hedge_total;
+            } else {
+                self.recovery_stats.hedges_wasted += 1;
+                self.recovery_stats
+                    .record(0x4ed6_0000u64 ^ now.as_nanos() ^ ordinal.rotate_left(7));
+            }
+        }
+
+        // Deadline + retry/backoff. The deadline is expressed in
+        // healthy-fabric terms and scaled by the epoch multiplier in force,
+        // so a known fabric-wide slowdown does not trip every request — only
+        // genuine outliers relative to the current regime get retried.
+        let mut elapsed = Nanos::ZERO;
+        if !self.recovery.timeout.is_zero() && self.recovery.max_retries > 0 {
+            let deadline = scale_latency_milli(self.recovery.timeout, multiplier_milli);
+            let mut retries = 0u32;
+            while attempt > deadline && retries < self.recovery.max_retries {
+                let _ = self
+                    .queues
+                    .cancel_request(core, start.saturating_add(elapsed).saturating_add(deadline));
+                self.recovery_stats.deadline_timeouts += 1;
+                elapsed = elapsed.saturating_add(deadline);
+                let mut backoff = Nanos::from_nanos(
+                    self.recovery
+                        .backoff_base
+                        .as_nanos()
+                        .saturating_mul(1u64 << retries.min(20)),
+                );
+                if !self.recovery.backoff_jitter.is_zero() {
+                    backoff = backoff.saturating_add(Nanos::from_nanos(
+                        req_rng.gen_range_u64(0, self.recovery.backoff_jitter.as_nanos()),
+                    ));
+                }
+                elapsed = elapsed.saturating_add(backoff);
+                self.recovery_stats.backoff_wait_total = self
+                    .recovery_stats
+                    .backoff_wait_total
+                    .saturating_add(backoff);
+                retries += 1;
+                self.recovery_stats.retries += 1;
+                self.recovery_stats.record(
+                    0x4e74_4e74u64 ^ now.as_nanos() ^ u64::from(retries) ^ ordinal.rotate_left(13),
+                );
+                if self.active_tenant != 0 {
+                    self.tenant_recovery
+                        .entry(self.active_tenant)
+                        .or_default()
+                        .retries += 1;
+                }
+                // Retry against the next-best replica over the same (still
+                // congested) fabric: resample scaled by the active epochs.
+                attempt = match kind {
+                    RemoteIoKind::Read => self
+                        .backend
+                        .read_latency_scaled(&mut req_rng, multiplier_milli),
+                    RemoteIoKind::Write => self
+                        .backend
+                        .write_latency_scaled(&mut req_rng, multiplier_milli),
+                };
+                let _ = self
+                    .queues
+                    .dispatch(core, start.saturating_add(elapsed), attempt);
+            }
+        }
+        elapsed.saturating_add(attempt)
+    }
+
     /// Performs a remote read or write of the page at `page_offset`, issued
     /// from CPU `core` at time `now`.
     ///
@@ -390,9 +661,13 @@ impl HostAgent {
     /// cancellation), then the latency modifiers of any active fault epoch.
     /// With the empty plan every fault branch is dead and the request is
     /// processed exactly as on a healthy fabric — same RNG draws, same
-    /// arithmetic, bit-identical results.
+    /// arithmetic, bit-identical results. With an active recovery policy the
+    /// sampled attempt is then run through deadline/retry and hedging logic
+    /// on a per-request recovery stream.
     ///
-    /// Returns `None` only if the slab cannot be mapped (cluster full).
+    /// Returns `None` if the slab cannot be mapped (cluster full), or if an
+    /// active link partition makes every replica unreachable from this core
+    /// (the caller serves the page from the disk tier instead).
     pub fn remote_io(
         &mut self,
         kind: RemoteIoKind,
@@ -404,7 +679,8 @@ impl HostAgent {
             self.apply_due_failures(now);
         }
         let machine = self.ensure_mapped(page_offset)?;
-        let mods = self.plan.modifiers_at(now);
+        let machine = self.route_reachable(kind, page_offset, machine, core, now)?;
+        let mods = self.effective_modifiers(now);
         let mut transport = match kind {
             RemoteIoKind::Read => {
                 self.reads += 1;
@@ -434,13 +710,36 @@ impl HostAgent {
                 .saturating_add(mods.reconnect_penalty);
             self.fault_stats.record(0x4ec0_44ecu64 ^ now.as_nanos());
         }
-        if !self.pending_reconstruction.is_zero() {
-            // The request that triggered (or immediately follows) a slab
-            // repair pays the reconstruction stall.
-            let repair = std::mem::replace(&mut self.pending_reconstruction, Nanos::ZERO);
-            transport = transport.saturating_add(repair);
-        }
-        let outcome = self.queues.dispatch(core, now, transport);
+        // The request that triggered (or immediately follows) a slab repair
+        // pays the reconstruction stall, before the attempt itself runs.
+        let repair = if self.pending_reconstruction.is_zero() {
+            Nanos::ZERO
+        } else {
+            std::mem::replace(&mut self.pending_reconstruction, Nanos::ZERO)
+        };
+        let outcome = self
+            .queues
+            .dispatch(core, now, transport.saturating_add(repair));
+        let transport = if self.recovery.is_active() {
+            // Recovery governs the attempt only — the repair stall is fabric
+            // work that no hedge or retry can cancel — so the recovered
+            // request starts after queueing and the repair.
+            let start = now
+                .saturating_add(outcome.queueing_delay)
+                .saturating_add(repair);
+            repair.saturating_add(self.resolve_recovery(
+                kind,
+                page_offset,
+                machine,
+                core,
+                now,
+                start,
+                transport,
+                mods.multiplier_milli,
+            ))
+        } else {
+            transport.saturating_add(repair)
+        };
         Some(RemoteIoResult {
             machine,
             queueing_delay: outcome.queueing_delay,
@@ -475,10 +774,22 @@ impl HostAgent {
         if pages.is_empty() {
             return;
         }
+        if self.recovery.is_active() || self.plan.has_partitions() {
+            // Recovery cancellations and partition re-routing interact with
+            // the queue clock per request, so the batched fold below cannot
+            // model them; take the per-request reference path (bit-identical
+            // by definition). Applying due failures per page at the same
+            // `now` is idempotent.
+            for &page_offset in pages {
+                let io = self.remote_io(kind, page_offset, core, now);
+                results.push(io);
+            }
+            return;
+        }
         if !self.plan.is_empty() {
             self.apply_due_failures(now);
         }
-        let mods = self.plan.modifiers_at(now);
+        let mods = self.effective_modifiers(now);
         let mut services = std::mem::take(&mut self.span_services);
         let mut outcomes = std::mem::take(&mut self.span_outcomes);
         services.clear();
@@ -763,6 +1074,8 @@ mod tests {
             epoch: Nanos::from_micros(50),
             start: Nanos::from_micros(10),
             horizon: Nanos::from_micros(20),
+            partition_epochs: 0,
+            target_tenant: 0,
         };
         let mut agent = agent_with(RemoteCluster::homogeneous(4, 16), 2);
         agent.set_backend(StorageBackend::constant(
@@ -805,6 +1118,8 @@ mod tests {
             epoch: Nanos::from_micros(60),
             start: Nanos::from_micros(5),
             horizon: Nanos::from_micros(400),
+            partition_epochs: 0,
+            target_tenant: 0,
         };
         let build = || {
             let mut agent = agent_with(RemoteCluster::homogeneous(4, 64), 2);
@@ -831,6 +1146,240 @@ mod tests {
         for c in 0..span.config.cores {
             assert_eq!(span.queues.idle_at(c), per_page.queues.idle_at(c));
         }
+    }
+
+    #[test]
+    fn disabled_recovery_is_byte_identical() {
+        use crate::fault::FaultSpec;
+        let run = |install_none: bool| {
+            let mut agent = agent_with(RemoteCluster::homogeneous(4, 64), 2);
+            agent.install_fault_plan(FaultPlan::from_spec(
+                5,
+                &FaultSpec::storm_over(Nanos::from_micros(5), Nanos::from_micros(300)),
+                4,
+            ));
+            if install_none {
+                agent.install_recovery(RecoveryPolicy::none(), recovery::recovery_stream_seed(5));
+            }
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                let io = agent.remote_io(
+                    RemoteIoKind::Read,
+                    i * 13,
+                    (i % 4) as usize,
+                    Nanos::from_nanos(i * 1_700),
+                );
+                out.push(io);
+            }
+            (out, agent.fault_stats(), agent.recovery_stats())
+        };
+        let (base, base_faults, base_recovery) = run(false);
+        let (none, none_faults, none_recovery) = run(true);
+        assert_eq!(base, none, "RecoveryPolicy::none() must be invisible");
+        assert_eq!(base_faults, none_faults);
+        assert_eq!(base_recovery, none_recovery);
+        assert!(none_recovery.is_quiet());
+    }
+
+    #[test]
+    fn hedging_caps_spiked_read_latency() {
+        use crate::fault::{FaultEpoch, FaultEpochKind, FaultSpec};
+        // One spike epoch covering the whole run, 8× slower: every primary
+        // read samples ~8× the healthy latency, so a hedge (unscaled sample
+        // after the hedge delay, over the other replica's link) should win
+        // nearly every time and cap the recovered latency.
+        let plan = FaultPlan::from_parts(
+            FaultSpec::none(),
+            vec![FaultEpoch {
+                kind: FaultEpochKind::LatencySpike,
+                start: Nanos::ZERO,
+                end: Nanos::from_millis(10),
+                multiplier_milli: 8_000,
+            }],
+            Vec::new(),
+            Vec::new(),
+        );
+
+        let policy = RecoveryPolicy {
+            hedge_delay: Nanos::from_micros(8),
+            ..RecoveryPolicy::none()
+        };
+        let run = |with_hedging: bool| {
+            let mut agent = agent_with(RemoteCluster::homogeneous(4, 64), 2);
+            agent.install_fault_plan(plan.clone());
+            if with_hedging {
+                agent.install_recovery(policy, recovery::recovery_stream_seed(9));
+            }
+            let mut latencies: Vec<Nanos> = Vec::new();
+            for i in 0..400u64 {
+                let io = agent
+                    .remote_io(
+                        RemoteIoKind::Read,
+                        i * 3,
+                        (i % 4) as usize,
+                        Nanos::from_nanos(i),
+                    )
+                    .unwrap();
+                latencies.push(io.transport_latency);
+            }
+            latencies.sort();
+            (latencies, agent.recovery_stats())
+        };
+        let (plain, _) = run(false);
+        let (hedged, stats) = run(true);
+        assert!(stats.hedges_issued > 0, "spiked reads must hedge");
+        assert!(
+            stats.hedges_won > 0,
+            "most hedges should win under an 8x spike"
+        );
+        let p99 = |v: &[Nanos]| v[(v.len() * 99) / 100 - 1];
+        assert!(
+            p99(&hedged) <= Nanos::from_nanos(p99(&plain).as_nanos() / 2),
+            "hedged p99 {:?} must be well under the spiked p99 {:?}",
+            p99(&hedged),
+            p99(&plain)
+        );
+    }
+
+    #[test]
+    fn retry_count_is_monotone_in_timeout_tightness() {
+        // Tightening the deadline can only retry more, never less: per-request
+        // streams make the attempt sequence invariant across timeouts.
+        let run = |timeout: Nanos| {
+            let mut agent = agent_with(RemoteCluster::homogeneous(4, 64), 2);
+            agent.install_recovery(
+                RecoveryPolicy {
+                    timeout,
+                    max_retries: 3,
+                    backoff_base: Nanos::from_micros(1),
+                    backoff_jitter: Nanos::from_nanos(200),
+                    ..RecoveryPolicy::none()
+                },
+                recovery::recovery_stream_seed(17),
+            );
+            for i in 0..300u64 {
+                let _ = agent.remote_io(
+                    RemoteIoKind::Read,
+                    i * 5,
+                    (i % 4) as usize,
+                    Nanos::from_nanos(i * 400),
+                );
+            }
+            agent.recovery_stats().retries
+        };
+        let tight = run(Nanos::from_micros(5));
+        let medium = run(Nanos::from_micros(12));
+        let loose = run(Nanos::from_micros(60));
+        assert!(tight >= medium, "tight {tight} < medium {medium}");
+        assert!(medium >= loose, "medium {medium} < loose {loose}");
+        assert!(tight > 0, "a 5 µs deadline must trip on RDMA tails");
+    }
+
+    #[test]
+    fn partitioned_primary_fails_fast_to_replica() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(4, 64), 2);
+        let primary = agent.ensure_mapped(0).unwrap();
+        let replicas = agent
+            .slab_map
+            .machines_of(agent.slab_map.slab_of_page(0))
+            .unwrap()
+            .to_vec();
+        assert_eq!(replicas.len(), 2);
+        // Sever the (shard of core 1 → primary) link for a window.
+        let plan = FaultPlan::from_parts(
+            crate::fault::FaultSpec::none(),
+            Vec::new(),
+            Vec::new(),
+            vec![crate::fault::PartitionEpoch {
+                start: Nanos::from_micros(10),
+                end: Nanos::from_micros(50),
+                machine: primary.0,
+                shard: 1,
+            }],
+        );
+        agent.install_fault_plan(plan);
+        // From core 1, inside the window: served by the other replica.
+        let io = agent
+            .remote_io(RemoteIoKind::Read, 0, 1, Nanos::from_micros(20))
+            .unwrap();
+        assert_eq!(io.machine, replicas[1]);
+        assert_eq!(agent.recovery_stats().partition_failfasts, 1);
+        // From core 0 (a different link shard), the primary still serves.
+        let io = agent
+            .remote_io(RemoteIoKind::Read, 0, 0, Nanos::from_micros(20))
+            .unwrap();
+        assert_eq!(io.machine, primary);
+        // Outside the window the primary serves from core 1 again.
+        let io = agent
+            .remote_io(RemoteIoKind::Read, 0, 1, Nanos::from_micros(60))
+            .unwrap();
+        assert_eq!(io.machine, primary);
+    }
+
+    #[test]
+    fn all_replicas_partitioned_degrades_read() {
+        let mut agent = agent_with(RemoteCluster::homogeneous(2, 64), 2);
+        let _ = agent.ensure_mapped(0).unwrap();
+        let partitions = (0..2u32)
+            .map(|machine| crate::fault::PartitionEpoch {
+                start: Nanos::from_micros(10),
+                end: Nanos::from_micros(50),
+                machine,
+                shard: 1,
+            })
+            .collect();
+        let plan = FaultPlan::from_parts(
+            crate::fault::FaultSpec::none(),
+            Vec::new(),
+            Vec::new(),
+            partitions,
+        );
+        agent.install_fault_plan(plan);
+        let io = agent.remote_io(RemoteIoKind::Read, 0, 1, Nanos::from_micros(20));
+        assert!(io.is_none(), "unreachable everywhere degrades to disk");
+        assert_eq!(agent.recovery_stats().degraded_reads, 1);
+        // A healthy core still reaches the slab.
+        assert!(agent
+            .remote_io(RemoteIoKind::Read, 0, 2, Nanos::from_micros(20))
+            .is_some());
+    }
+
+    #[test]
+    fn targeted_plan_spares_other_tenants() {
+        use crate::fault::FaultSpec;
+        let mut spec = FaultSpec::storm_over(Nanos::ZERO, Nanos::from_micros(500));
+        spec.machine_failures = 0; // hardware failures stay global; exclude.
+        spec.target_tenant = 2;
+        let run = |tenant: u32, spec: &FaultSpec| {
+            let mut agent = agent_with(RemoteCluster::homogeneous(4, 64), 2);
+            agent.install_fault_plan(FaultPlan::from_spec(11, spec, 4));
+            agent.set_active_tenant(tenant);
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                let io = agent
+                    .remote_io(
+                        RemoteIoKind::Read,
+                        i * 3,
+                        (i % 4) as usize,
+                        Nanos::from_nanos(i * 900),
+                    )
+                    .unwrap();
+                out.push(io.transport_latency);
+            }
+            (out, agent.fault_stats())
+        };
+        // Tenant 1 under the targeted plan sees healthy latencies: identical
+        // to a fault-free run (same agent stream, identity modifiers).
+        let healthy_spec = FaultSpec::none();
+        let (healthy, healthy_stats) = run(1, &healthy_spec);
+        let (spared, spared_stats) = run(1, &spec);
+        assert_eq!(spared, healthy, "non-targeted tenant must be untouched");
+        assert!(spared_stats.is_quiet());
+        let _ = healthy_stats;
+        // Tenant 2 pays the storm.
+        let (hit, hit_stats) = run(2, &spec);
+        assert_ne!(hit, healthy);
+        assert!(hit_stats.spiked_requests > 0);
     }
 
     #[test]

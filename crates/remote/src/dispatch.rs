@@ -154,6 +154,30 @@ impl DispatchQueues {
         cancelled
     }
 
+    /// Cancels the in-flight tail of a single queue at time `at`: the
+    /// per-request generalization of [`cancel_in_flight`], used by the
+    /// recovery layer when a deadline expires or a hedge wins.
+    ///
+    /// If queue `core` was busy past `at`, its idle time is clamped to
+    /// exactly `at` and `true` is returned; otherwise the queue is left
+    /// untouched. Callers always pass an `at` no earlier than the cancelled
+    /// request's start time, so the same monotonicity argument as
+    /// [`cancel_in_flight`] holds: the queue clock only ever moves down to
+    /// an instant that is still in the queue's own future relative to every
+    /// previously observed completion that actually elapsed. Dispatch
+    /// counters are preserved — cancelled work still happened.
+    ///
+    /// [`cancel_in_flight`]: DispatchQueues::cancel_in_flight
+    pub fn cancel_request(&mut self, core: usize, at: Nanos) -> bool {
+        let idx = core % self.busy_until.len();
+        if self.busy_until[idx] > at {
+            self.busy_until[idx] = at;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Clears all queue state.
     pub fn reset(&mut self) {
         for b in &mut self.busy_until {
@@ -292,6 +316,54 @@ mod tests {
                         out.completes_at >= idle_before,
                         "request completed before its queue went idle"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_request_clamps_one_queue_only() {
+        let mut q = DispatchQueues::new(2);
+        let a = q.dispatch(0, Nanos::ZERO, Nanos::from_micros(10));
+        let b = q.dispatch(1, Nanos::ZERO, Nanos::from_micros(10));
+        // A deadline expires at 6 µs on core 0; core 1 keeps its tail.
+        assert!(q.cancel_request(0, Nanos::from_micros(6)));
+        assert_eq!(q.idle_at(0), Nanos::from_micros(6));
+        assert_eq!(q.idle_at(1), b.completes_at);
+        // Cancelling at or after the completion time is a no-op.
+        assert!(!q.cancel_request(0, Nanos::from_micros(6)));
+        assert!(!q.cancel_request(1, b.completes_at));
+        assert_eq!(q.total_dispatched(), 2, "counters survive cancellation");
+        let _ = a;
+    }
+
+    proptest! {
+        /// Per-request cancellation obeys the same monotonicity contract as
+        /// the machine-failure path: the queue clock never rewinds below the
+        /// cancellation instant, and later dispatches never complete before
+        /// an earlier observed completion that already elapsed.
+        #[test]
+        fn prop_cancel_request_keeps_clock_monotonic(
+            events in proptest::collection::vec((0u64..50_000, 1u64..20_000, 0usize..8), 1..80),
+        ) {
+            let mut q = DispatchQueues::new(2);
+            let mut now = Nanos::ZERO;
+            for (gap, service, action) in events {
+                now = now.saturating_add(Nanos::from_nanos(gap));
+                let core = action % 2;
+                if action < 2 {
+                    let was = q.idle_at(core);
+                    let _ = q.cancel_request(core, now);
+                    prop_assert!(q.idle_at(core) <= was);
+                    prop_assert!(
+                        q.idle_at(core) >= was.min(now),
+                        "queue clock rewound below the cancellation time"
+                    );
+                } else {
+                    let idle_before = q.idle_at(core);
+                    let out = q.dispatch(core, now, Nanos::from_nanos(service));
+                    prop_assert!(out.completes_at >= now);
+                    prop_assert!(out.completes_at >= idle_before);
                 }
             }
         }

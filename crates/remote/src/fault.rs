@@ -26,10 +26,11 @@ use serde::{Deserialize, Serialize};
 /// schedule draws from its own stream and leaves component streams untouched.
 const FAULT_SALT: u64 = 0x8F1B_BCDC_FA17_71AD;
 
-/// FNV-1a offset basis — the checksum seed shared with `PipelineStats`.
-const CHECKSUM_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a offset basis — the checksum seed shared with `PipelineStats` (and
+/// with the recovery layer's `RecoveryStats`).
+pub(crate) const CHECKSUM_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime used to fold words into the checksum.
-const CHECKSUM_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub(crate) const CHECKSUM_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Multiplier denominator: epoch multipliers are expressed in thousandths,
 /// so `1000` is the identity and `2500` means 2.5× slower.
@@ -64,6 +65,14 @@ pub struct FaultSpec {
     pub start: Nanos,
     /// Exclusive upper bound on fault onset times.
     pub horizon: Nanos,
+    /// Number of link-level partial-partition epochs to schedule. Each one
+    /// severs a single (core-shard → machine) link for one epoch, so a
+    /// machine can be unreachable from one shard while healthy from another.
+    pub partition_epochs: u32,
+    /// Restricts every epoch and partition in the plan to accesses issued by
+    /// one tenant (`0` targets all traffic). Machine failures stay global —
+    /// hardware dies for everyone.
+    pub target_tenant: u32,
 }
 
 impl FaultSpec {
@@ -80,6 +89,8 @@ impl FaultSpec {
             epoch: Nanos::ZERO,
             start: Nanos::ZERO,
             horizon: Nanos::ZERO,
+            partition_epochs: 0,
+            target_tenant: 0,
         }
     }
 
@@ -89,6 +100,7 @@ impl FaultSpec {
             || self.degraded_epochs > 0
             || self.machine_failures > 0
             || self.reconnect_storms > 0
+            || self.partition_epochs > 0
     }
 
     /// The canonical "storm" used by the chaos suite and `fig_churn`: every
@@ -110,6 +122,8 @@ impl FaultSpec {
             epoch: Nanos::from_nanos((window.as_nanos() / 4).max(1)),
             start,
             horizon,
+            partition_epochs: 0,
+            target_tenant: 0,
         }
     }
 
@@ -117,6 +131,16 @@ impl FaultSpec {
     /// (~715 µs of virtual time): faults land throughout the run.
     pub fn canonical_storm() -> Self {
         Self::storm_over(Nanos::from_micros(50), Nanos::from_micros(800))
+    }
+
+    /// The canonical storm plus link partitions: the input the partition
+    /// fixture, the recovery suite, and the chaos CI lane all share. Keeping
+    /// [`FaultSpec::canonical_storm`] partition-free preserves the existing
+    /// golden chaos pins.
+    pub fn canonical_partition_storm() -> Self {
+        let mut spec = Self::canonical_storm();
+        spec.partition_epochs = 3;
+        spec
     }
 
     /// Validates the spec, returning a static reason on the first problem.
@@ -165,7 +189,9 @@ impl FaultSpec {
                 "\"fault_reconnect_penalty_ns\":{},",
                 "\"fault_epoch_ns\":{},",
                 "\"fault_start_ns\":{},",
-                "\"fault_horizon_ns\":{}"
+                "\"fault_horizon_ns\":{},",
+                "\"fault_partition_epochs\":{},",
+                "\"fault_target_tenant\":{}"
             ),
             self.latency_spikes,
             self.spike_multiplier_milli,
@@ -177,6 +203,8 @@ impl FaultSpec {
             self.epoch.as_nanos(),
             self.start.as_nanos(),
             self.horizon.as_nanos(),
+            self.partition_epochs,
+            self.target_tenant,
         )
     }
 
@@ -190,12 +218,12 @@ impl FaultSpec {
     /// Returns `Ok(false)` if the key is not a fault key (so callers merging
     /// fault fields into a larger object can fall through), `Ok(true)` if it
     /// was consumed, and `Err` on a malformed value.
-    pub fn apply_json_field(&mut self, key: &str, value: &str) -> Result<bool, String> {
-        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
-            value
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad value {value:?} for {key:?}"))
+    pub fn apply_json_field(&mut self, key: &str, value: &str) -> Result<bool, FaultJsonError> {
+        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, FaultJsonError> {
+            value.trim().parse().map_err(|_| FaultJsonError::BadValue {
+                key: key.to_string(),
+                value: value.trim().to_string(),
+            })
         }
         match key {
             "fault_latency_spikes" => self.latency_spikes = num(key, value)?,
@@ -210,6 +238,8 @@ impl FaultSpec {
             "fault_epoch_ns" => self.epoch = Nanos::from_nanos(num(key, value)?),
             "fault_start_ns" => self.start = Nanos::from_nanos(num(key, value)?),
             "fault_horizon_ns" => self.horizon = Nanos::from_nanos(num(key, value)?),
+            "fault_partition_epochs" => self.partition_epochs = num(key, value)?,
+            "fault_target_tenant" => self.target_tenant = num(key, value)?,
             _ => return Ok(false),
         }
         Ok(true)
@@ -218,12 +248,16 @@ impl FaultSpec {
     /// Parses a standalone JSON object produced by [`FaultSpec::to_json`]
     /// (missing keys keep their [`FaultSpec::none`] defaults). The parsed
     /// spec is validated before being returned.
-    pub fn from_json(text: &str) -> Result<Self, String> {
+    ///
+    /// Unknown `fault_*` keys (and any other unrecognized key) are a typed
+    /// [`FaultJsonError::UnknownKey`] error rather than being skipped, so a
+    /// typo'd chaos plan cannot silently run as a healthy baseline.
+    pub fn from_json(text: &str) -> Result<Self, FaultJsonError> {
         let body = text
             .trim()
             .strip_prefix('{')
             .and_then(|rest| rest.strip_suffix('}'))
-            .ok_or_else(|| "fault spec JSON must be an object".to_string())?;
+            .ok_or(FaultJsonError::NotAnObject)?;
         let mut spec = FaultSpec::none();
         for pair in body.split(',') {
             let pair = pair.trim();
@@ -232,16 +266,53 @@ impl FaultSpec {
             }
             let (raw_key, value) = pair
                 .split_once(':')
-                .ok_or_else(|| format!("malformed pair {pair:?}"))?;
+                .ok_or_else(|| FaultJsonError::MalformedPair(pair.to_string()))?;
             let key = raw_key.trim().trim_matches('"');
             if !spec.apply_json_field(key, value)? {
-                return Err(format!("unknown fault key {key:?}"));
+                return Err(FaultJsonError::UnknownKey(key.to_string()));
             }
         }
-        spec.validate().map_err(|reason| reason.to_string())?;
+        spec.validate().map_err(FaultJsonError::InvalidSpec)?;
         Ok(spec)
     }
 }
+
+/// Typed parse error for fault-spec JSON, so callers can tell a typo'd key
+/// apart from a malformed document or a structurally invalid spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultJsonError {
+    /// The document is not a braced JSON object.
+    NotAnObject,
+    /// A `key:value` pair could not be split.
+    MalformedPair(String),
+    /// A key that is neither a known `fault_*` field nor otherwise consumed.
+    UnknownKey(String),
+    /// A known key carried an unparseable value.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The raw value text that failed to parse.
+        value: String,
+    },
+    /// The parsed spec failed [`FaultSpec::validate`].
+    InvalidSpec(&'static str),
+}
+
+impl std::fmt::Display for FaultJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultJsonError::NotAnObject => write!(f, "fault spec JSON must be an object"),
+            FaultJsonError::MalformedPair(pair) => write!(f, "malformed pair {pair:?}"),
+            FaultJsonError::UnknownKey(key) => write!(f, "unknown fault key {key:?}"),
+            FaultJsonError::BadValue { key, value } => {
+                write!(f, "bad value {value:?} for {key:?}")
+            }
+            FaultJsonError::InvalidSpec(reason) => write!(f, "invalid fault spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultJsonError {}
 
 impl Default for FaultSpec {
     fn default() -> Self {
@@ -290,6 +361,36 @@ pub struct MachineFailure {
     pub victim: u32,
 }
 
+/// Number of core-shard slots link partitions are keyed over. A core `c`
+/// belongs to link shard `c % PARTITION_LINK_SHARDS`, so a partition severs
+/// one machine from a quarter of the cores while the rest reach it normally.
+pub const PARTITION_LINK_SHARDS: u32 = 4;
+
+/// One scheduled link-level partial partition: for the epoch's duration the
+/// (core-shard → machine) link is down, while every other link to the same
+/// machine stays healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionEpoch {
+    /// Inclusive partition start (virtual time).
+    pub start: Nanos,
+    /// Exclusive partition end (virtual time).
+    pub end: Nanos,
+    /// Index of the machine whose link is severed.
+    pub machine: u32,
+    /// Core shard (`core % PARTITION_LINK_SHARDS`) that loses the link.
+    pub shard: u32,
+}
+
+impl PartitionEpoch {
+    /// True if the partition severs the `(core, machine)` link at `now`.
+    pub fn severs(&self, core: usize, machine: u32, now: Nanos) -> bool {
+        self.machine == machine
+            && (core as u32) % PARTITION_LINK_SHARDS == self.shard
+            && self.start <= now
+            && now < self.end
+    }
+}
+
 /// The fault modifiers in force at one instant, as seen by a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultModifiers {
@@ -328,6 +429,7 @@ pub struct FaultPlan {
     spec: FaultSpec,
     epochs: Vec<FaultEpoch>,
     failures: Vec<MachineFailure>,
+    partitions: Vec<PartitionEpoch>,
 }
 
 impl FaultPlan {
@@ -338,7 +440,7 @@ impl FaultPlan {
 
     /// True if the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.epochs.is_empty() && self.failures.is_empty()
+        self.epochs.is_empty() && self.failures.is_empty() && self.partitions.is_empty()
     }
 
     /// The spec the plan was expanded from.
@@ -354,6 +456,29 @@ impl FaultPlan {
     /// The scheduled machine failures, sorted by failure time.
     pub fn failures(&self) -> &[MachineFailure] {
         &self.failures
+    }
+
+    /// The scheduled link partitions, sorted by `(start, machine, shard)`.
+    pub fn partitions(&self) -> &[PartitionEpoch] {
+        &self.partitions
+    }
+
+    /// True if the plan schedules at least one link partition. The agent's
+    /// hot path checks this before doing any per-request reachability work.
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// True if the `(core, machine)` link is severed by an active partition.
+    pub fn link_partitioned(&self, core: usize, machine: u32, now: Nanos) -> bool {
+        self.partitions.iter().any(|p| p.severs(core, machine, now))
+    }
+
+    /// True if the plan's epochs and partitions apply to accesses issued by
+    /// `tenant`. A `target_tenant` of zero targets everyone; tenant zero
+    /// (untagged traffic) is only hit by untargeted plans.
+    pub fn applies_to_tenant(&self, tenant: u32) -> bool {
+        self.spec.target_tenant == 0 || tenant == self.spec.target_tenant
     }
 
     /// Expands a spec into a concrete schedule.
@@ -422,10 +547,50 @@ impl FaultPlan {
         }
         failures.sort_by_key(|f| (f.at, f.victim));
 
+        // Partitions are drawn last so specs without them expand to exactly
+        // the draws (and therefore the schedule) they produced before link
+        // partitions existed.
+        let mut partitions = Vec::new();
+        if machine_count > 0 {
+            for _ in 0..spec.partition_epochs {
+                let start = onset(&mut rng);
+                partitions.push(PartitionEpoch {
+                    start,
+                    end: start.saturating_add(spec.epoch),
+                    machine: rng.gen_range_u64(0, u64::from(machine_count)) as u32,
+                    shard: rng.gen_range_u64(0, u64::from(PARTITION_LINK_SHARDS)) as u32,
+                });
+            }
+        }
+        partitions.sort_by_key(|p| (p.start, p.machine, p.shard, p.end));
+
         FaultPlan {
             spec: *spec,
             epochs,
             failures,
+            partitions,
+        }
+    }
+
+    /// Assembles a plan from explicit parts, sorting each schedule the same
+    /// way [`from_spec`] does. Intended for tests and tools that need a
+    /// precise schedule; [`from_spec`] is the normal constructor.
+    ///
+    /// [`from_spec`]: FaultPlan::from_spec
+    pub fn from_parts(
+        spec: FaultSpec,
+        mut epochs: Vec<FaultEpoch>,
+        mut failures: Vec<MachineFailure>,
+        mut partitions: Vec<PartitionEpoch>,
+    ) -> Self {
+        epochs.sort_by_key(|e| (e.start, e.kind, e.end));
+        failures.sort_by_key(|f| (f.at, f.victim));
+        partitions.sort_by_key(|p| (p.start, p.machine, p.shard, p.end));
+        FaultPlan {
+            spec,
+            epochs,
+            failures,
+            partitions,
         }
     }
 
@@ -587,6 +752,8 @@ mod tests {
             epoch: Nanos::from_micros(100),
             start: Nanos::from_micros(10),
             horizon: Nanos::from_micros(500),
+            partition_epochs: 2,
+            target_tenant: 0,
         }
     }
 
@@ -659,6 +826,103 @@ mod tests {
             assert!(f.victim < 4);
             assert!(f.at >= spec.start && f.at < spec.horizon);
         }
+        assert_eq!(plan.partitions().len(), 2);
+        for p in plan.partitions() {
+            assert!(p.start >= spec.start && p.start < spec.horizon);
+            assert_eq!(p.end, p.start.saturating_add(spec.epoch));
+            assert!(p.machine < 4);
+            assert!(p.shard < PARTITION_LINK_SHARDS);
+        }
+    }
+
+    #[test]
+    fn partition_draws_ride_after_legacy_draws() {
+        // A spec without partitions must expand to exactly the schedule it
+        // produced before partitions existed: the partition draws come last.
+        let with = small_spec();
+        let mut without = small_spec();
+        without.partition_epochs = 0;
+        let plan_with = FaultPlan::from_spec(42, &with, 4);
+        let plan_without = FaultPlan::from_spec(42, &without, 4);
+        assert_eq!(plan_with.epochs(), plan_without.epochs());
+        assert_eq!(plan_with.failures(), plan_without.failures());
+        assert!(plan_without.partitions().is_empty());
+        assert_eq!(plan_with.partitions().len(), 2);
+    }
+
+    #[test]
+    fn link_partitions_sever_one_shard_only() {
+        let partition = PartitionEpoch {
+            start: Nanos::from_micros(10),
+            end: Nanos::from_micros(20),
+            machine: 1,
+            shard: 2,
+        };
+        let mut plan = FaultPlan::empty();
+        plan.partitions = vec![partition];
+        assert!(plan.has_partitions());
+        let mid = Nanos::from_micros(15);
+        assert!(plan.link_partitioned(2, 1, mid));
+        assert!(plan.link_partitioned(6, 1, mid), "core 6 maps to shard 2");
+        assert!(
+            !plan.link_partitioned(1, 1, mid),
+            "other shards keep the link"
+        );
+        assert!(
+            !plan.link_partitioned(2, 0, mid),
+            "other machines unaffected"
+        );
+        assert!(
+            !plan.link_partitioned(2, 1, Nanos::from_micros(20)),
+            "end exclusive"
+        );
+        assert!(
+            !plan.link_partitioned(2, 1, Nanos::from_micros(9)),
+            "start inclusive"
+        );
+    }
+
+    #[test]
+    fn tenant_targeting_filters_epochs() {
+        let mut plan = FaultPlan::empty();
+        assert!(plan.applies_to_tenant(0));
+        assert!(plan.applies_to_tenant(7));
+        plan.spec.target_tenant = 3;
+        assert!(plan.applies_to_tenant(3));
+        assert!(!plan.applies_to_tenant(1));
+        assert!(
+            !plan.applies_to_tenant(0),
+            "untagged traffic escapes a targeted plan"
+        );
+    }
+
+    #[test]
+    fn from_json_errors_are_typed() {
+        assert_eq!(
+            FaultSpec::from_json("not json"),
+            Err(FaultJsonError::NotAnObject)
+        );
+        assert_eq!(
+            FaultSpec::from_json("{\"fault_bogus\":1}"),
+            Err(FaultJsonError::UnknownKey("fault_bogus".to_string()))
+        );
+        assert_eq!(
+            FaultSpec::from_json("{\"fault_latency_spikes\" 3}"),
+            Err(FaultJsonError::MalformedPair(
+                "\"fault_latency_spikes\" 3".to_string()
+            ))
+        );
+        assert_eq!(
+            FaultSpec::from_json("{\"fault_latency_spikes\":\"many\"}"),
+            Err(FaultJsonError::BadValue {
+                key: "fault_latency_spikes".to_string(),
+                value: "\"many\"".to_string(),
+            })
+        );
+        assert!(matches!(
+            FaultSpec::from_json("{\"fault_latency_spikes\":1}"),
+            Err(FaultJsonError::InvalidSpec(_)),
+        ));
     }
 
     #[test]

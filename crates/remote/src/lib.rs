@@ -16,20 +16,27 @@
 //!   accounting.
 //! - [`fault`]: seeded, deterministic fault injection — latency-spike and
 //!   degraded-bandwidth epochs, mid-run machine failures with slab failover
-//!   and re-replication, and reconnect storms, all scheduled in virtual
-//!   time from a `(seed, spec)` pair.
+//!   and re-replication, reconnect storms, and link-level partial
+//!   partitions, all scheduled in virtual time from a `(seed, spec)` pair.
+//! - [`recovery`]: the active recovery layer — virtual-time deadlines with
+//!   retry/backoff, hedged reads across slab replicas, and graceful
+//!   degradation to the disk path when partitions isolate every replica.
 
 pub mod agent;
 pub mod backend;
 pub mod dispatch;
 pub mod fault;
+pub mod recovery;
 pub mod slab;
 
 pub use agent::{HostAgent, HostAgentConfig, RemoteIoKind, RemoteIoResult};
 pub use backend::{BackendKind, ConstLatencyOverride, StorageBackend};
 pub use dispatch::DispatchQueues;
 pub use fault::{
-    FaultEpoch, FaultEpochKind, FaultInjectionStats, FaultModifiers, FaultPlan, FaultSpec,
-    MachineFailure,
+    FaultEpoch, FaultEpochKind, FaultInjectionStats, FaultJsonError, FaultModifiers, FaultPlan,
+    FaultSpec, MachineFailure, PartitionEpoch, PARTITION_LINK_SHARDS,
+};
+pub use recovery::{
+    recovery_stream_seed, RecoveryPolicy, RecoveryStats, TenantRecovery, RECOVERY_SALT,
 };
 pub use slab::{RemoteCluster, RemoteMachine, SlabId, SlabMap, DEFAULT_SLAB_BYTES};

@@ -13,7 +13,7 @@
 //!   completion instant, so it pins bit-identical timing across
 //!   [`leap::ReplayMode`]s for one configuration.
 
-use leap::{AccessOutcome, FaultEvent, Observer, RunResult};
+use leap::{AccessOutcome, FaultEvent, Observer, RunResult, TenantRecovery};
 use leap_mem::CacheOrigin;
 use leap_metrics::LatencyHistogram;
 use leap_sim_core::Nanos;
@@ -77,6 +77,10 @@ pub struct TenantQosReport {
     /// Checksum over the full events including latency and completion
     /// times (equal across replay modes for one configuration).
     pub timing_checksum: u64,
+    /// Recovery actions the remote tier took on this tenant's behalf
+    /// (retries, hedge wins, degraded reads); all-zero when no recovery
+    /// policy was installed or nothing went wrong for this tenant.
+    pub recovery: TenantRecovery,
 }
 
 /// Observer splitting a multi-tenant replay's event stream per tenant. One
@@ -85,6 +89,7 @@ pub struct TenantQosReport {
 pub struct TenantQos {
     tenants: BTreeMap<u32, TenantAccum>,
     makespan: Nanos,
+    recovery: BTreeMap<u32, TenantRecovery>,
 }
 
 impl TenantQos {
@@ -102,6 +107,7 @@ impl TenantQos {
     /// Finishes accounting: one report per observed pid, in pid order.
     pub fn into_reports(self) -> Vec<TenantQosReport> {
         let secs = self.makespan.as_secs_f64();
+        let recovery = self.recovery;
         self.tenants
             .into_iter()
             .map(|(pid, mut acc)| {
@@ -126,6 +132,7 @@ impl TenantQos {
                     pages_per_sec,
                     behavior_checksum: acc.behavior_checksum,
                     timing_checksum: acc.timing_checksum,
+                    recovery: recovery.get(&pid).copied().unwrap_or_default(),
                 }
             })
             .collect()
@@ -163,6 +170,7 @@ impl Observer for TenantQos {
 
     fn on_complete(&mut self, result: &RunResult) {
         self.makespan = result.completion_time;
+        self.recovery = result.tenant_recovery.clone();
     }
 }
 

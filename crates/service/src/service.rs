@@ -242,6 +242,41 @@ mod tests {
     }
 
     #[test]
+    fn recovery_actions_surface_in_tenant_qos() {
+        use leap::{FaultSpec, RecoveryPolicy};
+
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .seed(11)
+            .fault_plan(FaultSpec::canonical_partition_storm())
+            .recovery_policy(RecoveryPolicy::tail_tolerant())
+            .build()
+            .unwrap();
+        let mut svc = FarMemoryService::new(config, 10_000, AdmissionPolicy::Reject);
+        svc.register(TenantSpec::new(sequential_trace(MIB, 3), 64));
+        let a = svc.run();
+        let b = svc.run();
+        let wave = &a.waves[0];
+        assert!(
+            !wave.result.recovery_stats.is_quiet(),
+            "the partition storm must exercise the recovery layer"
+        );
+        // Every measured access is tagged with its pid, so the tenant
+        // ledger can only account a subset of the global stats (the
+        // prepopulation phase runs untagged).
+        let ledger = wave.tenants[0].1.recovery;
+        let stats = &wave.result.recovery_stats;
+        assert!(ledger.retries <= stats.retries);
+        assert!(ledger.hedges_won <= stats.hedges_won);
+        assert!(ledger.degraded_reads <= stats.degraded_reads);
+        assert_eq!(
+            wave.tenants[0].1, b.waves[0].tenants[0].1,
+            "per-tenant recovery QoS must replay bit-identically"
+        );
+        assert_eq!(wave.result.recovery_stats, b.waves[0].result.recovery_stats);
+    }
+
+    #[test]
     fn service_runs_are_deterministic() {
         let mut svc = service(AdmissionPolicy::Reject, 10_000);
         for seed in 0..3 {

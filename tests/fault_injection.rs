@@ -79,6 +79,8 @@ fn assert_results_identical(mut a: RunResult, mut b: RunResult) {
     );
     assert_eq!(a.pipeline, b.pipeline, "async pipeline counters");
     assert_eq!(a.fault_stats, b.fault_stats, "fault accounting");
+    assert_eq!(a.recovery_stats, b.recovery_stats, "recovery accounting");
+    assert_eq!(a.tenant_recovery, b.tenant_recovery, "per-tenant recovery");
 }
 
 // ---------------------------------------------------------------------------
@@ -110,6 +112,8 @@ proptest! {
             epoch: Nanos::from_micros(150),
             start: Nanos::from_micros(40),
             horizon: Nanos::from_micros(700),
+            partition_epochs: 0,
+            target_tenant: 0,
         };
         prop_assert!(spec.validate().is_ok());
 
@@ -374,6 +378,128 @@ fn mid_run_faults_degrade_only_overlapping_tenants() {
 }
 
 // ---------------------------------------------------------------------------
+// (f) Tenant targeting: a plan with `target_tenant` set degrades only that
+// tenant; every other tenant's QoS checksums match the healthy run exactly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn targeted_faults_leave_other_tenants_byte_identical() {
+    // Two long tenants, one per core, both spanning the fault window.
+    let trace = |name: &str| {
+        AccessTrace::new(
+            name.to_string(),
+            (0..4_000u64)
+                .map(|i| Access {
+                    page: i % 512,
+                    is_write: false,
+                    compute: Nanos::from_micros(2),
+                })
+                .collect(),
+        )
+    };
+    let run = |fault: FaultSpec| {
+        let config = SimConfig::builder()
+            .memory_fraction(0.5)
+            .cores(2)
+            .sched_quantum(Nanos::from_micros(250))
+            .seed(2020)
+            .fault_plan(fault)
+            .build()
+            .expect("valid config");
+        let mut svc = FarMemoryService::new(config, 10_000, AdmissionPolicy::Reject);
+        svc.register(TenantSpec::new(trace("alpha"), 128));
+        svc.register(TenantSpec::new(trace("beta"), 128));
+        svc.run()
+    };
+
+    // A modifier-only storm aimed at pid 2 (the wave's second tenant).
+    // Machine failures stay global by design, so the targeted plan keeps
+    // them at zero — only per-request modifiers are tenant-scoped.
+    let spec = FaultSpec {
+        machine_failures: 0,
+        target_tenant: 2,
+        ..FaultSpec::storm_over(Nanos::from_millis(1), Nanos::from_millis(40))
+    };
+    assert!(spec.validate().is_ok());
+    let healthy = run(FaultSpec::none());
+    let targeted = run(spec);
+
+    assert!(
+        !targeted.waves[0].result.fault_stats.is_quiet(),
+        "the targeted storm missed the wave entirely"
+    );
+    let tenant = |report: &leap_repro::leap_service::ServiceReport, i: usize| {
+        report.waves[0].tenants[i].1.clone()
+    };
+    let alpha_healthy = tenant(&healthy, 0);
+    let alpha_targeted = tenant(&targeted, 0);
+    assert_eq!(
+        alpha_healthy.behavior_checksum, alpha_targeted.behavior_checksum,
+        "non-targeted tenant's behavior changed"
+    );
+    assert_eq!(
+        alpha_healthy.timing_checksum, alpha_targeted.timing_checksum,
+        "the plan targets pid 2 yet pid 1's timing changed"
+    );
+    let beta_healthy = tenant(&healthy, 1);
+    let beta_targeted = tenant(&targeted, 1);
+    assert_eq!(
+        beta_healthy.behavior_checksum, beta_targeted.behavior_checksum,
+        "faults must not change what was replayed, only when"
+    );
+    assert_ne!(
+        beta_healthy.timing_checksum, beta_targeted.timing_checksum,
+        "the targeted tenant kept its healthy timing"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// (g) Unknown or malformed `fault_*` JSON surfaces the typed error, not a
+// silent default.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_fault_keys_are_a_typed_error() {
+    let json = FaultSpec::canonical_storm().to_json().replacen(
+        "fault_latency_spikes",
+        "fault_warp_drive",
+        1,
+    );
+    match FaultSpec::from_json(&json) {
+        Err(FaultJsonError::UnknownKey(key)) => assert_eq!(key, "fault_warp_drive"),
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+}
+
+#[test]
+fn unparseable_fault_values_are_a_typed_error() {
+    let json = FaultSpec::canonical_storm().to_json().replacen(
+        "\"fault_machine_failures\":1",
+        "\"fault_machine_failures\":\"lots\"",
+        1,
+    );
+    match FaultSpec::from_json(&json) {
+        Err(FaultJsonError::BadValue { key, value }) => {
+            assert_eq!(key, "fault_machine_failures");
+            assert_eq!(value, "\"lots\"");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_object_fault_json_is_a_typed_error() {
+    assert!(matches!(
+        FaultSpec::from_json("[1,2,3]"),
+        Err(FaultJsonError::NotAnObject)
+    ));
+    assert!(matches!(
+        FaultSpec::from_json("{\"fault_latency_spikes\"}"),
+        Err(FaultJsonError::MalformedPair(_))
+    ));
+}
+
+// ---------------------------------------------------------------------------
 // Fixture freshness: the committed storm plan is the canonical storm.
 // ---------------------------------------------------------------------------
 
@@ -399,4 +525,27 @@ fn storm_plan_fixture_is_fresh() {
     // file `perf_harness --fault-plan` consumes).
     let parsed = FaultSpec::from_json(committed.trim_end()).expect("fixture parses");
     assert_eq!(parsed, FaultSpec::canonical_storm());
+}
+
+#[test]
+fn partition_plan_fixture_is_fresh() {
+    let rendered = FaultSpec::canonical_partition_storm().to_json();
+    let path = fixture("partition_plan.json");
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, format!("{rendered}\n")).expect("write partition plan");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).expect(
+        "tests/fixtures/partition_plan.json missing — regenerate with \
+         REGEN_GOLDEN=1 cargo test --test fault_injection",
+    );
+    assert_eq!(
+        committed.trim_end(),
+        rendered,
+        "committed partition plan drifted from \
+         FaultSpec::canonical_partition_storm(); if the change is \
+         intentional, regenerate with REGEN_GOLDEN=1"
+    );
+    let parsed = FaultSpec::from_json(committed.trim_end()).expect("fixture parses");
+    assert_eq!(parsed, FaultSpec::canonical_partition_storm());
 }

@@ -1,0 +1,61 @@
+//! Prefetcher arena CLI: the corpus × prefetcher evaluation matrix.
+//!
+//! ```text
+//! cargo run --release -p leap-bench --bin arena -- [--quick] \
+//!     [--accesses N] [--cores N] [--trace LOG]... [--prefetcher NAME]... \
+//!     [--no-synthetic] [--out PATH]
+//! ```
+//!
+//! Replays every corpus entry (built-in synthetic mixes plus any ingested
+//! `--trace` log) against the full competitor pool — `DvmmReadAhead`,
+//! `Leap`, the offline-trained `Markov-1`/`Markov-2` delta models, and the
+//! compiled `Programmed-3PO` schedule — in both replay modes, prints the
+//! Table-1-style matrix, and writes the `leap-arena/1` JSON document
+//! (default `BENCH_arena.json`).
+//!
+//! `--quick` shrinks the synthetic corpus for CI smoke runs; `--accesses N`
+//! sets the sizing explicitly (the two conflict). `--prefetcher NAME`
+//! (repeatable) restricts the pool; `--no-synthetic` drops the built-in
+//! corpus and requires at least one `--trace`. All input errors are typed
+//! and reported on stderr with exit code 2 — the binary never panics on bad
+//! flags or unreadable logs.
+
+use leap_bench::arena::{parse_args, run_arena};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args).unwrap_or_else(|e| {
+        eprintln!("arena: {e}");
+        std::process::exit(2);
+    });
+    let out_path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_arena.json".to_string());
+
+    let report = run_arena(&opts).unwrap_or_else(|e| {
+        eprintln!("arena: {e}");
+        std::process::exit(2);
+    });
+
+    print!("{}", report.render_tables());
+    for cell in &report.cells {
+        assert!(
+            cell.modes_identical,
+            "{} / {}: serial and threaded replays diverged",
+            cell.trace, cell.prefetcher
+        );
+    }
+    println!(
+        "arena: {} traces x {} prefetchers, {} cells, all mode-identical",
+        report.traces.len(),
+        report.prefetchers.len(),
+        report.cells.len()
+    );
+
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("arena: failed to write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out_path}");
+}

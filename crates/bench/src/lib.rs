@@ -15,6 +15,7 @@
 //! paper-vs-measured comparison.
 
 pub mod app_figures;
+pub mod arena;
 pub mod churn_figures;
 pub mod hedging_figures;
 pub mod micro_figures;

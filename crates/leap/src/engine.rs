@@ -400,6 +400,9 @@ impl EngineCore {
         for _ in 0..report.freed_unused_prefetches {
             self.result.cache_stats.record_eviction(true);
         }
+        self.result
+            .prefetch_outcomes
+            .record_wasted_evicted(report.freed_unused_prefetches);
         for _ in 0..report.freed_other {
             self.result.cache_stats.record_eviction(false);
         }
@@ -427,6 +430,15 @@ impl EngineCore {
                 self.result
                     .prefetch_stats
                     .record_prefetch_hit(now.saturating_sub(entry.inserted_at));
+                // Covered counts each prefetched page once, at its *first*
+                // demand. `record_hit_take` only stamps `first_hit_at` when
+                // it was unset, and per-shard clocks are strictly monotonic
+                // across accesses (every hit charges a nonzero latency), so
+                // `first_hit_at == now` identifies exactly the first hit —
+                // repeat hits under a lazy policy carry an earlier stamp.
+                if entry.first_hit_at == Some(now) {
+                    self.result.prefetch_outcomes.record_covered(slot.0);
+                }
                 stage_timing::time(Stage::Prefetcher, || {
                     self.tracker
                         .on_prefetch_hit_at(pid, self.active_core, PageAddr(slot.0))
@@ -545,6 +557,7 @@ impl EngineCore {
             });
             self.result.cache_stats.record_add(1);
             self.result.prefetch_stats.record_prefetched(1);
+            self.result.prefetch_outcomes.record_prefetched(slot.0);
             stage_timing::time(Stage::Eviction, || {
                 self.evictors[shard].on_insert(slot, CacheOrigin::Prefetch)
             });
@@ -614,6 +627,12 @@ impl EngineCore {
         let issued = admitted.len() as u32;
         self.result.cache_stats.record_add(issued as u64);
         self.result.prefetch_stats.record_prefetched(issued as u64);
+        // One outcome event per admitted page, in span order — the same
+        // fold sequence the careful path (and the per-candidate reference)
+        // produces for these pages.
+        for &slot in &admitted {
+            self.result.prefetch_outcomes.record_prefetched(slot.0);
+        }
         self.span_scratch = admitted;
         self.owner_scratch = admitted_owners;
         self.present_scratch = present;
@@ -646,6 +665,7 @@ impl EngineCore {
         }) {
             self.result.cache_stats.record_add(1);
             self.result.prefetch_stats.record_prefetched(1);
+            self.result.prefetch_outcomes.record_prefetched(slot.0);
             let shard = self.cache.shard_of(slot);
             stage_timing::time(Stage::Eviction, || {
                 self.evictors[shard].on_insert(slot, CacheOrigin::Prefetch)
@@ -761,6 +781,13 @@ impl EngineCore {
     /// merged.
     pub fn seal_pipeline(&mut self) {
         self.pipeline.drain();
+        // Prefetched pages still sitting unused in this engine's cache never
+        // got demanded: classify them wasted-unconsumed so every prefetch
+        // has exactly one outcome. Workers seal before their partials merge,
+        // so each shard classifies only the pages it admitted.
+        self.result
+            .prefetch_outcomes
+            .record_wasted_unconsumed(self.cache.unused_prefetched());
         self.result.pipeline = *self.pipeline.stats();
         self.result.fault_stats = self.data_path.fault_stats();
         self.result.recovery_stats = self.data_path.recovery_stats();

@@ -1,7 +1,7 @@
 //! Results of a simulation run.
 
 use crate::pipeline::PipelineStats;
-use leap_metrics::{CacheStats, LatencyHistogram, PrefetchStats};
+use leap_metrics::{CacheStats, LatencyHistogram, PrefetchOutcomes, PrefetchStats};
 use leap_remote::{FaultInjectionStats, RecoveryStats, TenantRecovery};
 use leap_sim_core::Nanos;
 use std::collections::BTreeMap;
@@ -37,6 +37,11 @@ pub struct RunResult {
     pub cache_stats: CacheStats,
     /// Prefetch accuracy / coverage / timeliness.
     pub prefetch_stats: PrefetchStats,
+    /// Prefetch outcome classification: every prefetched page is *covered*
+    /// (demanded before eviction) or *wasted* (evicted unused, or still
+    /// unconsumed when the run sealed), with an order-sensitive per-shard
+    /// FNV checksum merged commutatively across shards.
+    pub prefetch_outcomes: PrefetchOutcomes,
     /// Time consumed prefetched pages waited in the cache after their first
     /// hit before the lazy reclaimer freed them (Figure 4); empty under eager
     /// eviction.
@@ -123,6 +128,7 @@ impl RunResult {
         self.access_latency.merge(&shard.access_latency);
         self.cache_stats.merge(&shard.cache_stats);
         self.prefetch_stats.merge(&shard.prefetch_stats);
+        self.prefetch_outcomes.merge(&shard.prefetch_outcomes);
         self.eviction_wait.merge(&shard.eviction_wait);
         self.allocation_wait.merge(&shard.allocation_wait);
         self.pipeline.merge(&shard.pipeline);

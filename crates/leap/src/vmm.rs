@@ -92,6 +92,11 @@ pub struct VmmSimulator {
     /// taking precedence over the `memory_fraction`-derived limit when the
     /// process registers. Set by the service layer's admission control.
     tenant_budget_pages: FxHashMap<u32, u64>,
+    /// When set, scheduled multi-process replays prepopulate each process's
+    /// working set (address order, metrics discarded) before the measured
+    /// run, like [`crate::session::run_prepopulated`] does for single
+    /// traces. See [`VmmSimulator::set_prepopulate_multi`].
+    prepopulate_multi: bool,
 }
 
 impl VmmSimulator {
@@ -126,7 +131,29 @@ impl VmmSimulator {
             span_pages: Vec::new(),
             span_states: Vec::new(),
             tenant_budget_pages: FxHashMap::default(),
+            prepopulate_multi: false,
         }
+    }
+
+    /// Makes every scheduled multi-process replay start from a prepopulated
+    /// working set: each registered process's distinct pages are touched
+    /// once in address order (allocation/initialisation phase, metrics
+    /// discarded) before the measured accesses run.
+    ///
+    /// Prepopulation fixes the swap-slot layout to the address order — cold
+    /// pages spill to swap in sorted page order, so a process's slot numbers
+    /// follow its page ranks. That is the paper's microbenchmark methodology
+    /// ([`Session::run_prepopulated`](crate::session::Session::run_prepopulated))
+    /// extended to scheduled
+    /// multi-process runs, and it is what lets offline-trained prefetchers
+    /// (whose models are learned in page space) see the same delta structure
+    /// in the slot-addressed fault stream they are consulted with.
+    ///
+    /// The prepopulation happens inside each shard worker's construction
+    /// (or in [`Simulator::prepare_multi`] on the monolithic fallback), so
+    /// Serial and Threaded replays observe bit-identical state.
+    pub fn set_prepopulate_multi(&mut self, on: bool) {
+        self.prepopulate_multi = on;
     }
 
     /// Overrides the resident-memory budget of process `pid` to `pages`
@@ -422,6 +449,7 @@ impl VmmSimulator {
                     span_pages: Vec::new(),
                     span_states: Vec::new(),
                     tenant_budget_pages: self.tenant_budget_pages.clone(),
+                    prepopulate_multi: self.prepopulate_multi,
                 };
                 let mut accesses = 0usize;
                 for process in sched.run_queue(core) {
@@ -430,6 +458,15 @@ impl VmmSimulator {
                         traces[process].working_set_pages(),
                     );
                     accesses += traces[process].len();
+                }
+                if self.prepopulate_multi {
+                    // Worker construction runs identically in Serial and
+                    // Threaded mode, so prepopulating here keeps the replay
+                    // modes bit-identical. Run-queue order fixes which slot
+                    // range each process's cold pages spill into.
+                    for process in sched.run_queue(core) {
+                        worker.prepopulate(Pid(process as u32 + 1), &traces[process]);
+                    }
                 }
                 worker.engine.reserve_accesses(accesses);
                 worker
@@ -499,6 +536,11 @@ impl Simulator for VmmSimulator {
         let shards = self.engine.config.cores;
         self.swap = ShardedSwap::new(shards, SWAP_CAPACITY);
         self.engine.enter_scheduled_mode(shards, self.swap.span());
+        if self.prepopulate_multi {
+            for (i, trace) in traces.iter().enumerate() {
+                self.prepopulate(Pid(i as u32 + 1), trace);
+            }
+        }
     }
 
     fn switch_core(&mut self, core: usize, now: Nanos) {

@@ -11,14 +11,18 @@
 //! - [`cache_stats::CacheStats`]: cache adds/hits/misses/evictions and
 //!   pollution accounting.
 //! - [`prefetch_stats::PrefetchStats`]: accuracy, coverage, and timeliness.
+//! - [`outcome_stats::PrefetchOutcomes`]: covered vs. wasted prefetches,
+//!   with the checksummed per-shard ledger the arena's golden suite pins.
 //! - [`report`]: plain-text table rendering used by the experiment binaries.
 
 pub mod cache_stats;
 pub mod histogram;
+pub mod outcome_stats;
 pub mod prefetch_stats;
 pub mod report;
 
 pub use cache_stats::CacheStats;
 pub use histogram::LatencyHistogram;
+pub use outcome_stats::PrefetchOutcomes;
 pub use prefetch_stats::PrefetchStats;
 pub use report::TextTable;

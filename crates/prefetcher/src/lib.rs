@@ -25,6 +25,10 @@
 //!   (`DoPrefetch`).
 //! - [`baselines`]: Next-N-Line, Stride, Linux-style Read-Ahead, and a
 //!   no-prefetch baseline.
+//! - [`programmed`]: a 3PO-style programmed prefetcher that follows a
+//!   schedule compiled from a recorded trace.
+//! - [`markov`]: an offline-trained first/second-order Markov delta
+//!   predictor (Hashemi et al.) frozen into an immutable table-probe model.
 //!
 //! # Quick example
 //!
@@ -47,6 +51,7 @@ pub mod history;
 pub mod incremental;
 pub mod leap;
 pub mod majority;
+pub mod markov;
 pub mod programmed;
 pub mod trend;
 pub mod types;
@@ -56,7 +61,8 @@ pub use baselines::{NextNLinePrefetcher, NoPrefetcher, ReadAheadPrefetcher, Stri
 pub use history::AccessHistory;
 pub use incremental::IncrementalTrendDetector;
 pub use leap::{LeapConfig, LeapPrefetcher};
-pub use programmed::ProgrammedPrefetcher;
+pub use markov::{FrozenModel, MarkovOrder, MarkovPrefetcher};
+pub use programmed::{ProgrammedPrefetcher, DEFAULT_PROGRAM_LOOKAHEAD};
 pub use trend::{find_trend, TrendOutcome};
 pub use types::{
     Delta, PageAddr, PrefetchDecision, Prefetcher, PrefetcherKind, INLINE_DECISION_PAGES,

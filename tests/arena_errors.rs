@@ -1,0 +1,166 @@
+//! Malformed-input coverage for the arena CLI and harness: every bad flag,
+//! bad value, conflicting pair, unknown competitor, unreadable log, and
+//! invalid cell configuration produces a *typed* `ArenaError` — never a
+//! panic (note: no `#[should_panic]` anywhere in this file, mirroring
+//! `ingest_errors.rs`).
+
+use leap_bench::arena::{
+    build_corpus, parse_args, run_arena, workspace_fixture, ArenaError, ArenaOptions, COMPETITORS,
+};
+use std::error::Error;
+use std::path::PathBuf;
+
+fn parse(args: &[&str]) -> Result<ArenaOptions, ArenaError> {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    parse_args(&owned)
+}
+
+/// A scratch path inside the workspace's `target/` (the test must not touch
+/// anything outside the repo).
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("arena-errors-scratch");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn unknown_flags_are_typed() {
+    match parse(&["--bogus"]) {
+        Err(ArenaError::UnknownFlag { flag }) => assert_eq!(flag, "--bogus"),
+        other => panic!("expected UnknownFlag, got {other:?}"),
+    }
+    // Positional arguments are not a thing either.
+    assert!(matches!(
+        parse(&["quick"]),
+        Err(ArenaError::UnknownFlag { .. })
+    ));
+}
+
+#[test]
+fn value_flags_without_values_are_typed() {
+    for flag in ["--accesses", "--cores", "--trace", "--prefetcher", "--out"] {
+        match parse(&[flag]) {
+            Err(ArenaError::MissingValue { flag: f }) => assert_eq!(f, flag),
+            other => panic!("{flag}: expected MissingValue, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_values_are_typed() {
+    for (flag, value) in [
+        ("--accesses", "lots"),
+        ("--accesses", "-3"),
+        ("--cores", "two"),
+        ("--cores", "1.5"),
+    ] {
+        match parse(&[flag, value]) {
+            Err(ArenaError::InvalidValue { flag: f, value: v }) => {
+                assert_eq!(f, flag);
+                assert_eq!(v, value);
+            }
+            other => panic!("{flag} {value}: expected InvalidValue, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn conflicting_sizing_flags_are_rejected_in_both_orders() {
+    match parse(&["--quick", "--accesses", "100"]) {
+        Err(ArenaError::ConflictingFlags { first, second }) => {
+            assert_eq!((first, second), ("--quick", "--accesses"));
+        }
+        other => panic!("expected ConflictingFlags, got {other:?}"),
+    }
+    match parse(&["--accesses", "100", "--quick"]) {
+        Err(ArenaError::ConflictingFlags { first, second }) => {
+            assert_eq!((first, second), ("--accesses", "--quick"));
+        }
+        other => panic!("expected ConflictingFlags, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_prefetchers_are_rejected_at_parse_time() {
+    match parse(&["--prefetcher", "Oracle"]) {
+        Err(ArenaError::UnknownPrefetcher { name }) => assert_eq!(name, "Oracle"),
+        other => panic!("expected UnknownPrefetcher, got {other:?}"),
+    }
+    // The message lists the valid pool so the CLI user can self-correct.
+    let msg = parse(&["--prefetcher", "Oracle"]).unwrap_err().to_string();
+    for name in COMPETITORS {
+        assert!(msg.contains(name), "{msg:?} must list {name}");
+    }
+}
+
+#[test]
+fn an_inevitably_empty_corpus_is_rejected_at_parse_time() {
+    assert!(matches!(
+        parse(&["--no-synthetic"]),
+        Err(ArenaError::EmptyCorpus)
+    ));
+    // ... but --no-synthetic plus a --trace is fine.
+    let opts = parse(&[
+        "--no-synthetic",
+        "--trace",
+        &workspace_fixture("perf_faults.log"),
+    ])
+    .expect("fixture-only corpus parses");
+    assert!(!opts.synthetic);
+    assert_eq!(opts.trace_logs.len(), 1);
+}
+
+#[test]
+fn missing_trace_logs_fail_with_the_offending_path() {
+    let missing = scratch("does_not_exist.log");
+    let opts = ArenaOptions {
+        synthetic: false,
+        trace_logs: vec![missing.to_string_lossy().into_owned()],
+        ..ArenaOptions::default()
+    };
+    match build_corpus(&opts) {
+        Err(e @ ArenaError::Ingest { .. }) => {
+            assert!(e.to_string().contains("does_not_exist.log"));
+            assert!(e.source().is_some(), "Ingest must chain its cause");
+        }
+        other => panic!("expected Ingest error, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_trace_logs_fail_with_a_typed_ingest_error() {
+    let garbage = scratch("garbage.log");
+    std::fs::write(&garbage, "this is not a fault log\n\u{1}\u{2}\u{3}\n").expect("write scratch");
+    let opts = ArenaOptions {
+        synthetic: false,
+        trace_logs: vec![garbage.to_string_lossy().into_owned()],
+        ..ArenaOptions::default()
+    };
+    match run_arena(&opts) {
+        Err(e @ ArenaError::Ingest { .. }) => {
+            assert!(e.to_string().contains("garbage.log"));
+            assert!(e.source().is_some());
+        }
+        other => panic!("expected Ingest error, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_cell_configurations_surface_as_config_errors() {
+    // Zero cores can never build a simulator; the arena wraps the
+    // validation failure instead of panicking mid-matrix.
+    let opts = ArenaOptions {
+        cores: 0,
+        synthetic: false,
+        trace_logs: vec![workspace_fixture("perf_faults.log")],
+        ..ArenaOptions::default()
+    };
+    match run_arena(&opts) {
+        Err(e @ ArenaError::Config(_)) => {
+            assert!(e.source().is_some(), "Config must chain the ConfigError");
+        }
+        other => panic!("expected Config error, got {other:?}"),
+    }
+}

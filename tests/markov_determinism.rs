@@ -1,0 +1,178 @@
+//! Determinism suite for the offline Markov trainer and its frozen replay.
+//!
+//! Three contracts:
+//!
+//! 1. `train` is a pure fold over the corpus: any ordering of the per-pid
+//!    traces freezes to the byte-identical `FrozenModel` (counts accumulate
+//!    in `BTreeMap`s and freeze ties break count-desc/delta-asc, so
+//!    insertion order cannot leak into the tables).
+//! 2. Replaying behind a frozen model advances no RNG stream: a model whose
+//!    contexts never fire replays bit-for-bit like the no-prefetch
+//!    baseline under the canonical fault storm — fault and recovery
+//!    checksums included — and a trained model's chaos replay is
+//!    deterministic across repeats and across `ReplayMode`s.
+//! 3. Replay never mutates the model: the frozen tables compare equal to a
+//!    pre-replay clone afterwards.
+
+use leap_bench::arena::FrozenMarkovFactory;
+use leap_repro::leap_prefetcher::markov::{train, FrozenModel, MarkovOrder};
+use leap_repro::leap_sim_core::Nanos;
+use leap_repro::leap_workloads::ingest::ingest_path;
+use leap_repro::leap_workloads::{Access, AccessTrace};
+use leap_repro::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn perf_traces() -> Vec<AccessTrace> {
+    ingest_path(fixture("perf_faults.log"))
+        .expect("perf fixture must ingest")
+        .into_traces()
+}
+
+/// Deterministic per-pid traces from a splittable LCG: page deltas in
+/// `0..7`, one stream per trace, so any `(lens, seed)` names one corpus.
+fn synth_corpus(lens: &[usize], seed: u64) -> Vec<AccessTrace> {
+    let mut state = seed | 1;
+    lens.iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            let mut page = (i as u64) * 1000;
+            let accesses = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    page = page.wrapping_add((state >> 33) % 7);
+                    Access::read(page, Nanos::ZERO)
+                })
+                .collect();
+            AccessTrace::new(format!("pid-{i}"), accesses)
+        })
+        .collect()
+}
+
+/// A canonical-storm replay of the perf fixture behind the given frozen
+/// model (prepopulated, so the slot layout matches the arena's).
+fn storm_markov_run(model: &Arc<FrozenModel>, mode: ReplayMode) -> RunResult {
+    let setup = SimConfig::builder()
+        .memory_fraction(0.5)
+        .cores(2)
+        .sched_quantum(Nanos::from_micros(250))
+        .seed(2020)
+        .replay_mode(mode)
+        .fault_plan(FaultSpec::canonical_storm())
+        .custom_prefetcher(FrozenMarkovFactory::new(Arc::clone(model)))
+        .build_setup()
+        .expect("valid config");
+    let mut sim = setup.vmm();
+    sim.set_prepopulate_multi(true);
+    sim.run_multi(&perf_traces())
+}
+
+proptest! {
+    #[test]
+    fn training_is_corpus_order_independent(
+        lens in proptest::collection::vec(2usize..40, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let corpus = synth_corpus(&lens, seed);
+        let mut reversed = corpus.clone();
+        reversed.reverse();
+        let mut rotated = corpus.clone();
+        rotated.rotate_left(1);
+        for order in [MarkovOrder::First, MarkovOrder::Second] {
+            let canonical = train(&corpus, order);
+            prop_assert_eq!(&canonical, &train(&reversed, order));
+            prop_assert_eq!(&canonical, &train(&rotated, order));
+        }
+    }
+}
+
+#[test]
+fn silent_model_replays_bit_identical_to_the_no_prefetch_baseline() {
+    // A model trained on a single-access trace has no transitions, so its
+    // every consultation returns the empty decision — the replay must be
+    // indistinguishable from PrefetcherKind::None under the canonical
+    // storm, fault/recovery RNG checksums included. That is the "frozen
+    // replay advances no RNG stream" contract: table probes do not draw.
+    let silent = Arc::new(train(
+        &[AccessTrace::new(
+            "alien",
+            vec![Access::read(0, Nanos::ZERO)],
+        )],
+        MarkovOrder::First,
+    ));
+    assert_eq!(silent.trained_transitions(), 0);
+
+    let markov = storm_markov_run(&silent, ReplayMode::Serial);
+
+    let setup = SimConfig::builder()
+        .memory_fraction(0.5)
+        .cores(2)
+        .sched_quantum(Nanos::from_micros(250))
+        .seed(2020)
+        .replay_mode(ReplayMode::Serial)
+        .fault_plan(FaultSpec::canonical_storm())
+        .prefetcher(PrefetcherKind::None)
+        .build()
+        .expect("valid config");
+    let mut sim = VmmSimulator::new(setup);
+    sim.set_prepopulate_multi(true);
+    let baseline = sim.run_multi(&perf_traces());
+
+    assert_eq!(markov.total_accesses, baseline.total_accesses);
+    assert_eq!(markov.remote_accesses, baseline.remote_accesses);
+    assert_eq!(markov.completion_time, baseline.completion_time);
+    assert_eq!(
+        markov.fault_stats, baseline.fault_stats,
+        "fault RNG drifted"
+    );
+    assert_eq!(
+        markov.recovery_stats, baseline.recovery_stats,
+        "recovery RNG drifted"
+    );
+    assert_eq!(markov.prefetch_outcomes, baseline.prefetch_outcomes);
+    assert!(markov.prefetch_outcomes.is_quiet());
+}
+
+#[test]
+fn trained_model_chaos_replay_is_deterministic() {
+    let model = Arc::new(train(&perf_traces(), MarkovOrder::First));
+    assert!(model.trained_transitions() > 0);
+
+    let first = storm_markov_run(&model, ReplayMode::Serial);
+    let second = storm_markov_run(&model, ReplayMode::Serial);
+    let threaded = storm_markov_run(&model, ReplayMode::Threaded);
+
+    for (label, other) in [("repeat", &second), ("threaded", &threaded)] {
+        assert_eq!(first.completion_time, other.completion_time, "{label}");
+        assert_eq!(first.fault_stats, other.fault_stats, "{label}");
+        assert_eq!(first.recovery_stats, other.recovery_stats, "{label}");
+        assert_eq!(first.prefetch_outcomes, other.prefetch_outcomes, "{label}");
+        assert_eq!(
+            first.prefetch_outcomes.checksum(),
+            other.prefetch_outcomes.checksum(),
+            "{label}"
+        );
+    }
+    assert!(first.prefetch_outcomes.prefetched() > 0);
+}
+
+#[test]
+fn replay_leaves_the_frozen_tables_untouched() {
+    let model = Arc::new(train(&perf_traces(), MarkovOrder::Second));
+    let before = (*model).clone();
+    let _ = storm_markov_run(&model, ReplayMode::Serial);
+    let _ = storm_markov_run(&model, ReplayMode::Threaded);
+    assert_eq!(
+        *model, before,
+        "replay must not retrain or mutate the frozen model"
+    );
+}
